@@ -1,0 +1,88 @@
+// Command graphgen generates a synthetic Taobao-style retrieval graph and
+// prints its statistics — node/edge mixes, degree distribution — so the
+// scaled-down analogs can be compared against the paper's §VII-A numbers.
+//
+// Usage:
+//
+//	graphgen -scale medium -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "tiny | small | medium | large | movielens")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var cfg loggen.Config
+	switch *scale {
+	case "tiny":
+		cfg = loggen.TaobaoConfig(loggen.ScaleTiny, *seed)
+	case "small":
+		cfg = loggen.TaobaoConfig(loggen.ScaleSmall, *seed)
+	case "medium":
+		cfg = loggen.TaobaoConfig(loggen.ScaleMedium, *seed)
+	case "large":
+		cfg = loggen.TaobaoConfig(loggen.ScaleLarge, *seed)
+	case "movielens":
+		cfg = loggen.MovieLensConfig(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	logs := loggen.MustGenerate(cfg)
+	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
+	g := res.Graph
+	st := g.Stats()
+
+	fmt.Printf("scale: %s  seed: %d\n", *scale, *seed)
+	fmt.Printf("sessions: %d  interactions: %d\n", len(logs.Sessions), logs.NumInteractions())
+	fmt.Printf("nodes: %d  (users %d, queries %d, items %d)\n",
+		st.Nodes, st.NodesByType[graph.User], st.NodesByType[graph.Query], st.NodesByType[graph.Item])
+	fmt.Printf("edges: %d  (click %d, session %d, similarity %d)\n",
+		st.Edges, st.EdgesByType[graph.Click], st.EdgesByType[graph.Session], st.EdgesByType[graph.Similarity])
+	fmt.Printf("degree: mean %.2f  max %d\n", st.MeanDegree, st.MaxDegree)
+
+	// Degree distribution deciles.
+	degrees := make([]int, g.NumNodes())
+	for i := range degrees {
+		degrees[i] = g.Degree(graph.NodeID(i))
+	}
+	sort.Ints(degrees)
+	fmt.Print("degree deciles:")
+	for d := 0; d <= 10; d++ {
+		idx := d * (len(degrees) - 1) / 10
+		fmt.Printf(" %d", degrees[idx])
+	}
+	fmt.Println()
+
+	// Edge mix between node-type pairs (the paper reports e.g. "75% are
+	// user-user edges" for the 12-hour graph).
+	var mix [graph.NumNodeTypes][graph.NumNodeTypes]int
+	for id := 0; id < g.NumNodes(); id++ {
+		from := g.Type(graph.NodeID(id))
+		for _, e := range g.Neighbors(graph.NodeID(id)) {
+			mix[from][g.Type(e.To)]++
+		}
+	}
+	fmt.Println("edge mix (% of directed edges):")
+	types := []graph.NodeType{graph.User, graph.Query, graph.Item}
+	for _, a := range types {
+		for _, b := range types {
+			if mix[a][b] == 0 {
+				continue
+			}
+			fmt.Printf("  %s-%s: %.1f%%\n", a, b, 100*float64(mix[a][b])/float64(st.Edges))
+		}
+	}
+}

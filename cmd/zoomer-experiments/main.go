@@ -1,0 +1,80 @@
+// Command zoomer-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	zoomer-experiments -exp all            # everything, full size
+//	zoomer-experiments -exp table3,fig8    # selected experiments
+//	zoomer-experiments -exp fig9 -quick    # CI-sized budgets
+//
+// Experiment ids: fig4a fig4b fig4c table2 table3 fig8 table4 fig9 fig10
+// fig11 fig12 fig13.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"zoomer/internal/experiments"
+)
+
+var registry = []struct {
+	id  string
+	run func(experiments.Options) fmt.Stringer
+}{
+	{"fig4a", func(o experiments.Options) fmt.Stringer { return experiments.Fig4a(o) }},
+	{"fig4b", func(o experiments.Options) fmt.Stringer { return experiments.Fig4b(o) }},
+	{"fig4c", func(o experiments.Options) fmt.Stringer { return experiments.Fig4c(o) }},
+	{"table2", func(o experiments.Options) fmt.Stringer { return experiments.Table2(o) }},
+	{"table3", func(o experiments.Options) fmt.Stringer { return experiments.Table3(o) }},
+	{"fig8", func(o experiments.Options) fmt.Stringer { return experiments.Fig8(o) }},
+	{"table4", func(o experiments.Options) fmt.Stringer { return experiments.Table4(o) }},
+	{"fig9", func(o experiments.Options) fmt.Stringer { return experiments.Fig9(o) }},
+	{"fig10", func(o experiments.Options) fmt.Stringer { return experiments.Fig10(o) }},
+	{"fig11", func(o experiments.Options) fmt.Stringer { return experiments.Fig11(o) }},
+	{"fig12", func(o experiments.Options) fmt.Stringer { return experiments.Fig12(o) }},
+	{"fig13", func(o experiments.Options) fmt.Stringer { return experiments.Fig13(o) }},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	quick := flag.Bool("quick", false, "CI-sized budgets")
+	seed := flag.Uint64("seed", 1, "base random seed")
+	verbose := flag.Bool("v", false, "progress logging")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Quick: *quick}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	want := map[string]bool{}
+	if *exp != "all" {
+		for _, id := range strings.Split(*exp, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, e := range registry {
+		known[e.id] = true
+	}
+	for id := range want {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	for _, e := range registry {
+		if *exp != "all" && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		res := e.run(opts)
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", e.id, time.Since(start).Seconds(), res)
+	}
+}

@@ -1,0 +1,109 @@
+// Command zoomer-serve stands up the online serving stack (trimmed model,
+// neighbor caches, two-layer ANN index) and runs an open-loop load sweep,
+// printing response time against offered QPS.
+//
+// Usage:
+//
+//	zoomer-serve -scale small -qps 1000,5000,20000 -duration 500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"zoomer/internal/ann"
+	"zoomer/internal/core"
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/serve"
+	"zoomer/internal/tensor"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "tiny | small | medium | large")
+	qpsList := flag.String("qps", "1000,2000,5000,10000,20000,50000", "comma-separated offered QPS points")
+	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per point")
+	workers := flag.Int("workers", 4, "serving workers")
+	cacheK := flag.Int("cachek", 30, "cached neighbors per node")
+	trainSteps := flag.Int("train", 100, "warm-up training steps before export")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	scales := map[string]loggen.Scale{
+		"tiny": loggen.ScaleTiny, "small": loggen.ScaleSmall,
+		"medium": loggen.ScaleMedium, "large": loggen.ScaleLarge,
+	}
+	sc, ok := scales[*scale]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	var qps []float64
+	for _, s := range strings.Split(*qpsList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad qps %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		qps = append(qps, v)
+	}
+
+	fmt.Println("building world and model...")
+	logs := loggen.MustGenerate(loggen.TaobaoConfig(sc, *seed))
+	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
+	g := res.Graph
+	ds := loggen.BuildExamples(logs, 1, 0.2, *seed+1)
+	train := core.InstancesFromExamples(ds.Train, res.Mapping)
+	test := core.InstancesFromExamples(ds.Test, res.Mapping)
+
+	model := core.NewZoomer(g, logs.Vocab(), core.DefaultConfig(), *seed+2)
+	tc := core.DefaultTrainConfig()
+	tc.MaxSteps = *trainSteps
+	core.Train(model, train, test, tc)
+
+	fmt.Println("exporting serving weights and building index...")
+	emb := serve.NewEmbedder(model.ExportServing())
+	eng := engine.New(g, engine.DefaultConfig())
+	cache := serve.NewNeighborCache(eng, *cacheK, *seed+3)
+	defer cache.Close()
+
+	items := g.NodesOfType(graph.Item)
+	ids := make([]int64, len(items))
+	vecs := make([]tensor.Vec, len(items))
+	for i, it := range items {
+		ids[i] = int64(it)
+		vecs[i] = emb.Item(it)
+	}
+	nlist := len(items) / 64
+	if nlist < 4 {
+		nlist = 4
+	}
+	index := ann.Build(ids, vecs, ann.Config{NumLists: nlist, Iters: 6, Seed: *seed + 4})
+
+	scfg := serve.DefaultConfig()
+	scfg.Workers = *workers
+	scfg.CacheK = *cacheK
+	srv := serve.NewServer(emb, cache, index, scfg)
+	defer srv.Close()
+
+	users := g.NodesOfType(graph.User)
+	queries := g.NodesOfType(graph.Query)
+	// Cache warm-up.
+	serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, *seed+5)
+
+	fmt.Printf("%-10s %-14s %-14s %-10s %-10s\n", "QPS", "mean RT (ms)", "p99 RT (ms)", "served", "dropped")
+	for i, q := range qps {
+		st := serve.LoadTest(srv, users, queries, q, *duration, *seed+6+uint64(i))
+		fmt.Printf("%-10.0f %-14.3f %-14.3f %-10d %-10d\n",
+			q, float64(st.MeanRT.Microseconds())/1000, float64(st.P99.Microseconds())/1000,
+			st.Served, st.Dropped)
+	}
+	hits, misses, refreshes := cache.Stats()
+	fmt.Printf("cache: %d hits / %d misses / %d async refreshes\n", hits, misses, refreshes)
+}

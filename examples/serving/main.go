@@ -1,0 +1,62 @@
+// Serving: the Fig. 9 scenario in miniature — run the online retrieval
+// service (trimmed model, async neighbor cache, IVF index) under rising
+// offered load and watch response time climb as the worker pool
+// saturates.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"zoomer/internal/ann"
+	"zoomer/internal/core"
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/serve"
+	"zoomer/internal/tensor"
+)
+
+func main() {
+	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 31))
+	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
+	g := res.Graph
+
+	cfg := core.DefaultConfig()
+	cfg.EmbedDim, cfg.OutDim = 16, 16
+	cfg.Hops, cfg.FanOut = 1, 5
+	model := core.NewZoomer(g, logs.Vocab(), cfg, 32)
+	// Untrained weights are fine: serving latency is weight-independent.
+
+	emb := serve.NewEmbedder(model.ExportServing())
+	eng := engine.New(g, engine.DefaultConfig())
+	cache := serve.NewNeighborCache(eng, 30, 33)
+	defer cache.Close()
+
+	items := g.NodesOfType(graph.Item)
+	ids := make([]int64, len(items))
+	vecs := make([]tensor.Vec, len(items))
+	for i, it := range items {
+		ids[i] = int64(it)
+		vecs[i] = emb.Item(it)
+	}
+	index := ann.Build(ids, vecs, ann.Config{NumLists: 8, Iters: 4, Seed: 34})
+
+	scfg := serve.DefaultConfig()
+	scfg.Workers = 2
+	srv := serve.NewServer(emb, cache, index, scfg)
+	defer srv.Close()
+
+	users := g.NodesOfType(graph.User)
+	queries := g.NodesOfType(graph.Query)
+	serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, 35) // warm caches
+
+	fmt.Printf("%-8s  %-12s  %-12s  %s\n", "QPS", "mean RT", "p99 RT", "served")
+	for i, qps := range []float64{500, 2000, 8000, 30000} {
+		st := serve.LoadTest(srv, users, queries, qps, 300*time.Millisecond, 36+uint64(i))
+		fmt.Printf("%-8.0f  %-12s  %-12s  %d\n", qps, st.MeanRT, st.P99, st.Served)
+	}
+	hits, misses, refreshes := cache.Stats()
+	fmt.Printf("cache: %d hits / %d misses / %d async refreshes\n", hits, misses, refreshes)
+}

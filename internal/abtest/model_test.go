@@ -1,0 +1,20 @@
+package abtest
+
+import (
+	"testing"
+
+	"zoomer/internal/core"
+	"zoomer/internal/graph"
+	"zoomer/internal/loggen"
+)
+
+// newTestModel builds a small untrained Zoomer for channel plumbing tests.
+func newTestModel(t *testing.T, g *graph.Graph, logs *loggen.Logs) core.Model {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.EmbedDim = 16
+	cfg.OutDim = 16
+	cfg.Hops = 1
+	cfg.FanOut = 4
+	return core.NewZoomer(g, logs.Vocab(), cfg, 7)
+}

@@ -1,0 +1,123 @@
+// Package alias implements Walker's alias method for O(1) sampling from a
+// discrete distribution. The paper's graph engine (§VI, "Distributed graph
+// engine") uses an alias table over each adjacency list so that weighted
+// neighbor sampling costs constant time independent of degree; this package
+// is that component.
+package alias
+
+import (
+	"fmt"
+
+	"zoomer/internal/rng"
+)
+
+// Table is an immutable alias table over n outcomes. Construction is O(n);
+// each Sample is O(1). The zero value is an empty table that cannot be
+// sampled from.
+type Table struct {
+	prob  []float64
+	alias []int32
+}
+
+// New builds an alias table from the given non-negative weights. Weights
+// need not be normalized. It returns an error if weights is empty, if any
+// weight is negative, or if all weights are zero.
+func New(weights []float64) (*Table, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("alias: empty weight vector")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("alias: negative weight %v at index %d", w, i)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return nil, fmt.Errorf("alias: all weights are zero")
+	}
+
+	t := &Table{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities: p_i * n.
+	scaled := make([]float64, n)
+	scale := float64(n) / sum
+	for i, w := range weights {
+		scaled[i] = w * scale
+	}
+
+	// Partition into small (<1) and large (>=1) stacks.
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, p := range scaled {
+		if p < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	// Residuals are 1 up to float error.
+	for _, l := range large {
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	for _, s := range small {
+		t.prob[s] = 1
+		t.alias[s] = s
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for static tables known to be valid.
+func MustNew(weights []float64) *Table {
+	t, err := New(weights)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// N returns the number of outcomes.
+func (t *Table) N() int { return len(t.prob) }
+
+// Sample draws an outcome index in [0, N()) with probability proportional
+// to its construction weight. It panics on an empty table.
+func (t *Table) Sample(r *rng.RNG) int {
+	n := len(t.prob)
+	if n == 0 {
+		panic("alias: sampling from empty table")
+	}
+	i := r.Intn(n)
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// SampleMany draws k outcomes with replacement into a new slice.
+func (t *Table) SampleMany(r *rng.RNG, k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = t.Sample(r)
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package alias
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"zoomer/internal/rng"
+)
+
+func TestErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	if _, err := New([]float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := New([]float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on bad input")
+		}
+	}()
+	MustNew(nil)
+}
+
+func TestSingleOutcome(t *testing.T) {
+	tab := MustNew([]float64{3.5})
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if tab.Sample(r) != 0 {
+			t.Fatal("single-outcome table returned nonzero index")
+		}
+	}
+}
+
+func TestZeroWeightNeverSampled(t *testing.T) {
+	tab := MustNew([]float64{1, 0, 1})
+	r := rng.New(2)
+	for i := 0; i < 20000; i++ {
+		if tab.Sample(r) == 1 {
+			t.Fatal("zero-weight outcome was sampled")
+		}
+	}
+}
+
+// TestDistributionMatches verifies that empirical frequencies converge to
+// the target distribution (chi-square-style tolerance).
+func TestDistributionMatches(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 10}
+	tab := MustNew(weights)
+	r := rng.New(3)
+	const n = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[tab.Sample(r)]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		want := w / sum
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("outcome %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestPropertyDistribution is a quick-check over random weight vectors:
+// every sampled index is in range and positive-weight outcomes dominate.
+func TestPropertyDistribution(t *testing.T) {
+	r := rng.New(11)
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 32 {
+			raw = raw[:32]
+		}
+		weights := make([]float64, len(raw))
+		var sum float64
+		for i, b := range raw {
+			weights[i] = float64(b)
+			sum += weights[i]
+		}
+		if sum == 0 {
+			return true
+		}
+		tab, err := New(weights)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 2000; i++ {
+			idx := tab.Sample(r)
+			if idx < 0 || idx >= len(weights) || weights[idx] == 0 {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleMany(t *testing.T) {
+	tab := MustNew([]float64{1, 1})
+	r := rng.New(5)
+	out := tab.SampleMany(r, 64)
+	if len(out) != 64 {
+		t.Fatalf("SampleMany returned %d items", len(out))
+	}
+	for _, v := range out {
+		if v != 0 && v != 1 {
+			t.Fatalf("out-of-range sample %d", v)
+		}
+	}
+}
+
+// TestConstantTime pins the O(1) property loosely: sampling cost must not
+// scale with table size (allowing generous noise).
+func TestLargeTable(t *testing.T) {
+	r := rng.New(7)
+	weights := make([]float64, 100000)
+	for i := range weights {
+		weights[i] = r.Float64() + 0.01
+	}
+	tab := MustNew(weights)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[tab.Sample(r)] = true
+	}
+	if len(seen) < 900 {
+		t.Fatalf("large uniform-ish table shows too few distinct samples: %d", len(seen))
+	}
+}
+
+func BenchmarkSample1K(b *testing.B) { benchSample(b, 1_000) }
+func BenchmarkSample1M(b *testing.B) { benchSample(b, 1_000_000) }
+
+func benchSample(b *testing.B, n int) {
+	r := rng.New(1)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = r.Float64() + 0.01
+	}
+	tab := MustNew(weights)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = tab.Sample(r)
+	}
+	_ = sink
+}

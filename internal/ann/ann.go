@@ -1,0 +1,212 @@
+// Package ann implements the approximate-nearest-neighbor retrieval
+// module of §VI: after training, item embeddings are organized into a
+// two-layer inverted index (the iGraph stand-in) — a coarse layer of
+// k-means centroids over cosine space, and posting lists of items per
+// centroid. A query probes the nprobe closest centroids and scores only
+// their lists, trading a controllable amount of recall for sub-linear
+// search.
+package ann
+
+import (
+	"fmt"
+	"sort"
+
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// Result is one retrieved id with its cosine score.
+type Result struct {
+	ID    int64
+	Score float32
+}
+
+// Index is an immutable IVF index over unit-normalized vectors.
+type Index struct {
+	dim       int
+	centroids []tensor.Vec
+	listIDs   [][]int64
+	listVecs  [][]tensor.Vec
+}
+
+// Config tunes index construction.
+type Config struct {
+	NumLists int // coarse centroids (first layer)
+	Iters    int // k-means refinement iterations
+	Seed     uint64
+}
+
+// DefaultConfig sizes the index for ~10k-100k items.
+func DefaultConfig() Config { return Config{NumLists: 32, Iters: 8, Seed: 1} }
+
+// Build constructs the index from ids and their vectors (copied and
+// normalized; zero vectors are assigned to a random list). It panics on
+// length mismatch or empty input.
+func Build(ids []int64, vecs []tensor.Vec, cfg Config) *Index {
+	if len(ids) != len(vecs) {
+		panic(fmt.Sprintf("ann: %d ids vs %d vectors", len(ids), len(vecs)))
+	}
+	if len(ids) == 0 {
+		panic("ann: empty input")
+	}
+	if cfg.NumLists <= 0 {
+		cfg.NumLists = 1
+	}
+	if cfg.NumLists > len(ids) {
+		cfg.NumLists = len(ids)
+	}
+	dim := len(vecs[0])
+	r := rng.New(cfg.Seed)
+
+	normed := make([]tensor.Vec, len(vecs))
+	for i, v := range vecs {
+		if len(v) != dim {
+			panic("ann: inconsistent vector dimensions")
+		}
+		nv := tensor.Copy(v)
+		tensor.Normalize(nv)
+		normed[i] = nv
+	}
+
+	// k-means++ seeding over cosine distance (= squared Euclidean on the
+	// unit sphere up to scaling).
+	centroids := make([]tensor.Vec, 0, cfg.NumLists)
+	centroids = append(centroids, tensor.Copy(normed[r.Intn(len(normed))]))
+	dist := make([]float64, len(normed))
+	for len(centroids) < cfg.NumLists {
+		var total float64
+		last := centroids[len(centroids)-1]
+		for i, v := range normed {
+			d := float64(1 - tensor.Cosine(v, last))
+			if len(centroids) == 1 || d < dist[i] {
+				dist[i] = d
+			}
+			total += dist[i]
+		}
+		if total == 0 {
+			centroids = append(centroids, tensor.Copy(normed[r.Intn(len(normed))]))
+			continue
+		}
+		x := r.Float64() * total
+		pick := len(normed) - 1
+		for i, d := range dist {
+			x -= d
+			if x <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, tensor.Copy(normed[pick]))
+	}
+
+	assign := make([]int, len(normed))
+	reassign := func() {
+		for i, v := range normed {
+			best, bestSim := 0, float32(-2)
+			for c, cent := range centroids {
+				if s := tensor.Cosine(v, cent); s > bestSim {
+					best, bestSim = c, s
+				}
+			}
+			assign[i] = best
+		}
+	}
+	for iter := 0; iter < cfg.Iters; iter++ {
+		reassign()
+		sums := make([]tensor.Vec, len(centroids))
+		counts := make([]int, len(centroids))
+		for c := range sums {
+			sums[c] = tensor.NewVec(dim)
+		}
+		for i, v := range normed {
+			tensor.Axpy(1, v, sums[assign[i]])
+			counts[assign[i]]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty centroid on a random point.
+				centroids[c] = tensor.Copy(normed[r.Intn(len(normed))])
+				continue
+			}
+			tensor.Normalize(sums[c])
+			centroids[c] = sums[c]
+		}
+	}
+	reassign()
+
+	ix := &Index{
+		dim:       dim,
+		centroids: centroids,
+		listIDs:   make([][]int64, len(centroids)),
+		listVecs:  make([][]tensor.Vec, len(centroids)),
+	}
+	for i, c := range assign {
+		ix.listIDs[c] = append(ix.listIDs[c], ids[i])
+		ix.listVecs[c] = append(ix.listVecs[c], normed[i])
+	}
+	return ix
+}
+
+// Dim returns the vector dimensionality.
+func (ix *Index) Dim() int { return ix.dim }
+
+// NumLists returns the coarse layer size.
+func (ix *Index) NumLists() int { return len(ix.centroids) }
+
+// Len returns the number of indexed vectors.
+func (ix *Index) Len() int {
+	n := 0
+	for _, l := range ix.listIDs {
+		n += len(l)
+	}
+	return n
+}
+
+// Search probes the nprobe closest coarse centroids and returns the topK
+// highest-cosine results among their posting lists, best first.
+func (ix *Index) Search(query tensor.Vec, topK, nprobe int) []Result {
+	if len(query) != ix.dim {
+		panic(fmt.Sprintf("ann: query dim %d, index dim %d", len(query), ix.dim))
+	}
+	if topK <= 0 {
+		return nil
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(ix.centroids) {
+		nprobe = len(ix.centroids)
+	}
+	q := tensor.Copy(query)
+	tensor.Normalize(q)
+
+	// Rank centroids.
+	type cs struct {
+		c int
+		s float32
+	}
+	order := make([]cs, len(ix.centroids))
+	for c, cent := range ix.centroids {
+		order[c] = cs{c, tensor.Dot(q, cent)}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].s > order[j].s })
+
+	results := make([]Result, 0, topK*2)
+	for p := 0; p < nprobe; p++ {
+		c := order[p].c
+		for i, v := range ix.listVecs[c] {
+			results = append(results, Result{ID: ix.listIDs[c][i], Score: tensor.Dot(q, v)})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	if len(results) > topK {
+		results = results[:topK]
+	}
+	return results
+}
+
+// SearchExact scans every vector — the brute-force reference used to
+// measure recall in tests and benchmarks.
+func (ix *Index) SearchExact(query tensor.Vec, topK int) []Result {
+	return ix.Search(query, topK, len(ix.centroids))
+}

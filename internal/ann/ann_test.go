@@ -1,0 +1,171 @@
+package ann
+
+import (
+	"testing"
+
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// clusteredData makes nClusters groups of points around random unit
+// centers.
+func clusteredData(r *rng.RNG, n, dim, nClusters int) ([]int64, []tensor.Vec, []int) {
+	centers := make([]tensor.Vec, nClusters)
+	for c := range centers {
+		v := make(tensor.Vec, dim)
+		for i := range v {
+			v[i] = float32(r.NormFloat64())
+		}
+		tensor.Normalize(v)
+		centers[c] = v
+	}
+	ids := make([]int64, n)
+	vecs := make([]tensor.Vec, n)
+	cluster := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := r.Intn(nClusters)
+		cluster[i] = c
+		v := tensor.Copy(centers[c])
+		for j := range v {
+			v[j] += 0.15 * float32(r.NormFloat64())
+		}
+		tensor.Normalize(v)
+		ids[i] = int64(i)
+		vecs[i] = v
+	}
+	return ids, vecs, cluster
+}
+
+func TestBuildValidation(t *testing.T) {
+	mustPanic := func(f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { Build(nil, nil, DefaultConfig()) })
+	mustPanic(func() { Build([]int64{1}, nil, DefaultConfig()) })
+}
+
+func TestIndexCoversAllVectors(t *testing.T) {
+	r := rng.New(1)
+	ids, vecs, _ := clusteredData(r, 500, 16, 8)
+	ix := Build(ids, vecs, Config{NumLists: 10, Iters: 5, Seed: 2})
+	if ix.Len() != 500 {
+		t.Fatalf("index holds %d vectors", ix.Len())
+	}
+	if ix.NumLists() != 10 {
+		t.Fatalf("lists = %d", ix.NumLists())
+	}
+	if ix.Dim() != 16 {
+		t.Fatalf("dim = %d", ix.Dim())
+	}
+}
+
+func TestExactSearchFindsSelf(t *testing.T) {
+	r := rng.New(3)
+	ids, vecs, _ := clusteredData(r, 300, 16, 6)
+	ix := Build(ids, vecs, Config{NumLists: 8, Iters: 5, Seed: 4})
+	for i := 0; i < 20; i++ {
+		res := ix.SearchExact(vecs[i], 1)
+		if len(res) != 1 || res[0].ID != ids[i] {
+			t.Fatalf("query %d: self not top-1 (got %v)", i, res)
+		}
+	}
+}
+
+// ANN with small nprobe must still achieve high recall vs exact search on
+// clustered data — the design property of the two-layer index.
+func TestRecallAtNprobe(t *testing.T) {
+	r := rng.New(5)
+	ids, vecs, _ := clusteredData(r, 2000, 16, 16)
+	ix := Build(ids, vecs, Config{NumLists: 16, Iters: 8, Seed: 6})
+	const topK = 10
+	hits, total := 0, 0
+	for q := 0; q < 50; q++ {
+		query := vecs[r.Intn(len(vecs))]
+		exact := ix.SearchExact(query, topK)
+		approx := ix.Search(query, topK, 4)
+		want := map[int64]bool{}
+		for _, e := range exact {
+			want[e.ID] = true
+		}
+		for _, a := range approx {
+			if want[a.ID] {
+				hits++
+			}
+		}
+		total += len(exact)
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.8 {
+		t.Fatalf("recall@nprobe=4 is %.2f, want >= 0.8", recall)
+	}
+}
+
+func TestSearchOrderingAndBounds(t *testing.T) {
+	r := rng.New(7)
+	ids, vecs, _ := clusteredData(r, 200, 8, 4)
+	ix := Build(ids, vecs, Config{NumLists: 4, Iters: 4, Seed: 8})
+	res := ix.Search(vecs[0], 15, 2)
+	if len(res) == 0 || len(res) > 15 {
+		t.Fatalf("result size %d", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+	if out := ix.Search(vecs[0], 0, 2); out != nil {
+		t.Fatal("topK=0 should return nil")
+	}
+}
+
+func TestSearchDimPanic(t *testing.T) {
+	r := rng.New(9)
+	ids, vecs, _ := clusteredData(r, 50, 8, 2)
+	ix := Build(ids, vecs, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dim mismatch")
+		}
+	}()
+	ix.Search(make(tensor.Vec, 4), 5, 1)
+}
+
+func TestMoreListsThanPoints(t *testing.T) {
+	r := rng.New(10)
+	ids, vecs, _ := clusteredData(r, 5, 8, 2)
+	ix := Build(ids, vecs, Config{NumLists: 64, Iters: 3, Seed: 11})
+	if ix.Len() != 5 {
+		t.Fatal("vectors lost")
+	}
+	res := ix.SearchExact(vecs[0], 5)
+	if len(res) != 5 {
+		t.Fatalf("got %d results", len(res))
+	}
+}
+
+func BenchmarkSearchNprobe4(b *testing.B) {
+	r := rng.New(1)
+	ids, vecs, _ := clusteredData(r, 10000, 32, 32)
+	ix := Build(ids, vecs, Config{NumLists: 32, Iters: 6, Seed: 2})
+	q := vecs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 100, 4)
+	}
+}
+
+func BenchmarkSearchExact(b *testing.B) {
+	r := rng.New(1)
+	ids, vecs, _ := clusteredData(r, 10000, 32, 32)
+	ix := Build(ids, vecs, Config{NumLists: 32, Iters: 6, Seed: 2})
+	q := vecs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchExact(q, 100)
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"zoomer/internal/ad"
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/nn"
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// Instance is one CTR example in graph-node space.
+type Instance struct {
+	User, Query, Item graph.NodeID
+	Label             float32
+}
+
+// InstancesFromExamples converts world-local examples to graph instances.
+func InstancesFromExamples(examples []loggen.Example, m graphbuild.Mapping) []Instance {
+	out := make([]Instance, len(examples))
+	for i, e := range examples {
+		out[i] = Instance{
+			User:  m.UserNode(e.User),
+			Query: m.QueryNode(e.Query),
+			Item:  m.ItemNode(e.Item),
+			Label: e.Label,
+		}
+	}
+	return out
+}
+
+// Model is the contract shared by Zoomer and every baseline: batched logit
+// computation for training, parameter/table enumeration for optimizers,
+// and embedding export for retrieval (hit-rate and ANN serving).
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Logits returns an n x 1 node of match logits for the batch. The RNG
+	// drives any sampling inside the forward pass.
+	Logits(t *ad.Tape, batch []Instance, r *rng.RNG) *ad.Node
+	// DenseParams returns the dense trainable parameters.
+	DenseParams() []*nn.Param
+	// Tables returns the sparse embedding tables.
+	Tables() []*nn.EmbeddingTable
+	// UserQueryEmbedding returns the request-side tower output for (u, q).
+	UserQueryEmbedding(u, q graph.NodeID, r *rng.RNG) tensor.Vec
+	// ItemEmbedding returns the item-side tower output.
+	ItemEmbedding(item graph.NodeID, r *rng.RNG) tensor.Vec
+}

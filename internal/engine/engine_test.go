@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/rng"
+)
+
+func buildEngine(t testing.TB) *Engine {
+	t.Helper()
+	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 1))
+	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
+	return New(res.Graph, DefaultConfig())
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(nil, Config{Shards: 0, Replicas: 1})
+}
+
+func TestSampleNeighborsReturnsNeighbors(t *testing.T) {
+	e := buildEngine(t)
+	g := e.Graph()
+	r := rng.New(2)
+	for id := 0; id < g.NumNodes(); id += 7 {
+		nid := graph.NodeID(id)
+		nbrSet := map[graph.NodeID]bool{}
+		for _, edge := range g.Neighbors(nid) {
+			nbrSet[edge.To] = true
+		}
+		out := e.SampleNeighbors(nid, 5, r)
+		if len(nbrSet) == 0 {
+			if out != nil {
+				t.Fatalf("isolated node %d sampled %v", id, out)
+			}
+			continue
+		}
+		if len(out) != 5 {
+			t.Fatalf("node %d: got %d samples", id, len(out))
+		}
+		for _, to := range out {
+			if !nbrSet[to] {
+				t.Fatalf("node %d sampled non-neighbor %d", id, to)
+			}
+		}
+	}
+}
+
+// Sampling must follow edge weights: build a node with one dominant edge.
+func TestSampleFollowsWeights(t *testing.T) {
+	b := graph.NewBuilder()
+	ego := b.AddNode(graph.User, nil, nil)
+	heavy := b.AddNode(graph.Item, nil, nil)
+	light := b.AddNode(graph.Item, nil, nil)
+	b.AddEdge(ego, heavy, graph.Click, 9)
+	b.AddEdge(ego, light, graph.Click, 1)
+	e := New(b.Build(), Config{Shards: 1, Replicas: 1})
+	r := rng.New(3)
+	heavyCount := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if e.SampleNeighbors(ego, 1, r)[0] == heavy {
+			heavyCount++
+		}
+	}
+	frac := float64(heavyCount) / n
+	if frac < 0.87 || frac > 0.93 {
+		t.Fatalf("heavy edge sampled %.3f, want ~0.9", frac)
+	}
+}
+
+// Replicas must share load roughly evenly under round-robin.
+func TestReplicaLoadBalance(t *testing.T) {
+	e := buildEngine(t)
+	g := e.Graph()
+	r := rng.New(4)
+	for i := 0; i < 4000; i++ {
+		id := graph.NodeID(r.Intn(g.NumNodes()))
+		e.SampleNeighbors(id, 2, r)
+	}
+	st := e.Stats()
+	var total, maxRep int64
+	for _, c := range st.RequestsPerRep {
+		total += c
+		if c > maxRep {
+			maxRep = c
+		}
+	}
+	if total == 0 {
+		t.Fatal("no requests recorded")
+	}
+	mean := total / int64(len(st.RequestsPerRep))
+	if maxRep > 2*mean+8 {
+		t.Fatalf("replica load imbalanced: max %d vs mean %d", maxRep, mean)
+	}
+}
+
+// Concurrent sampling must be race-free and correct (run under -race).
+func TestConcurrentSampling(t *testing.T) {
+	e := buildEngine(t)
+	g := e.Graph()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			for i := 0; i < 500; i++ {
+				id := graph.NodeID(r.Intn(g.NumNodes()))
+				out := e.SampleNeighbors(id, 3, r)
+				for _, to := range out {
+					if int(to) >= g.NumNodes() {
+						t.Errorf("out-of-range sample %d", to)
+						return
+					}
+				}
+			}
+		}(uint64(w + 10))
+	}
+	wg.Wait()
+	if st := e.Stats(); st.CachedTables == 0 {
+		t.Fatal("no alias tables were cached")
+	}
+}
+
+func TestPassthroughAccessors(t *testing.T) {
+	e := buildEngine(t)
+	g := e.Graph()
+	var id graph.NodeID
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Degree(graph.NodeID(i)) > 0 {
+			id = graph.NodeID(i)
+			break
+		}
+	}
+	if len(e.Neighbors(id)) != g.Degree(id) {
+		t.Fatal("Neighbors passthrough wrong")
+	}
+	if e.Content(id) == nil && g.Content(id) != nil {
+		t.Fatal("Content passthrough wrong")
+	}
+	if len(e.Features(id)) != len(g.Features(id)) {
+		t.Fatal("Features passthrough wrong")
+	}
+}
+
+func BenchmarkSampleNeighbors(b *testing.B) {
+	e := buildEngine(b)
+	g := e.Graph()
+	r := rng.New(1)
+	ids := make([]graph.NodeID, 256)
+	for i := range ids {
+		ids[i] = graph.NodeID(r.Intn(g.NumNodes()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SampleNeighbors(ids[i%len(ids)], 10, r)
+	}
+}
+
+func BenchmarkSampleNeighborsParallel(b *testing.B) {
+	e := buildEngine(b)
+	g := e.Graph()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(uint64(42))
+		for pb.Next() {
+			id := graph.NodeID(r.Intn(g.NumNodes()))
+			e.SampleNeighbors(id, 10, r)
+		}
+	})
+}

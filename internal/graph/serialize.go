@@ -1,0 +1,209 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The on-disk format of §VI ("the graphs are stored using compact
+// binary-format files"): a magic header, node section (types, features,
+// content vectors), then the CSR arrays. All integers are little-endian;
+// content vectors are float32.
+const (
+	serialMagic   = 0x5a4d5247 // "ZMRG"
+	serialVersion = 1
+)
+
+// WriteTo serializes the graph. It returns the number of bytes written.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	put := func(vs ...uint32) error {
+		for _, v := range vs {
+			var buf [4]byte
+			binary.LittleEndian.PutUint32(buf[:], v)
+			m, err := bw.Write(buf[:])
+			n += int64(m)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := put(serialMagic, serialVersion, uint32(g.NumNodes()), uint32(len(g.edges)), uint32(g.contentDim)); err != nil {
+		return n, err
+	}
+	// Node types.
+	for _, t := range g.types {
+		if err := put(uint32(t)); err != nil {
+			return n, err
+		}
+	}
+	// Features: length-prefixed id lists.
+	for _, f := range g.features {
+		if err := put(uint32(len(f))); err != nil {
+			return n, err
+		}
+		for _, id := range f {
+			if err := put(uint32(id)); err != nil {
+				return n, err
+			}
+		}
+	}
+	// Content: presence flag + values.
+	for _, c := range g.content {
+		if c == nil {
+			if err := put(0); err != nil {
+				return n, err
+			}
+			continue
+		}
+		if err := put(1); err != nil {
+			return n, err
+		}
+		for _, v := range c {
+			if err := put(math.Float32bits(v)); err != nil {
+				return n, err
+			}
+		}
+	}
+	// CSR offsets and edges.
+	for _, off := range g.offsets {
+		if err := put(uint32(off)); err != nil {
+			return n, err
+		}
+	}
+	for _, e := range g.edges {
+		if err := put(uint32(e.To), uint32(e.Type), math.Float32bits(e.Weight)); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read deserializes a graph written by WriteTo.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	get := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(buf[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if magic != serialMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", magic)
+	}
+	version, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	numNodes, err := get()
+	if err != nil {
+		return nil, err
+	}
+	numEdges, err := get()
+	if err != nil {
+		return nil, err
+	}
+	contentDim, err := get()
+	if err != nil {
+		return nil, err
+	}
+
+	b := NewBuilder()
+	// Stage nodes first (types read in order), then content/features.
+	types := make([]NodeType, numNodes)
+	for i := range types {
+		v, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if v >= uint32(numNodeTypes) {
+			return nil, fmt.Errorf("graph: invalid node type %d", v)
+		}
+		types[i] = NodeType(v)
+	}
+	features := make([][]int32, numNodes)
+	for i := range features {
+		ln, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if ln > 1<<20 {
+			return nil, fmt.Errorf("graph: implausible feature count %d", ln)
+		}
+		if ln > 0 {
+			f := make([]int32, ln)
+			for j := range f {
+				v, err := get()
+				if err != nil {
+					return nil, err
+				}
+				f[j] = int32(v)
+			}
+			features[i] = f
+		}
+	}
+	for i := uint32(0); i < numNodes; i++ {
+		present, err := get()
+		if err != nil {
+			return nil, err
+		}
+		var content []float32
+		if present == 1 {
+			content = make([]float32, contentDim)
+			for j := range content {
+				v, err := get()
+				if err != nil {
+					return nil, err
+				}
+				content[j] = math.Float32frombits(v)
+			}
+		}
+		b.AddNode(types[i], features[i], content)
+	}
+
+	offsets := make([]int32, numNodes+1)
+	for i := range offsets {
+		v, err := get()
+		if err != nil {
+			return nil, err
+		}
+		offsets[i] = int32(v)
+	}
+	if uint32(offsets[numNodes]) != numEdges {
+		return nil, fmt.Errorf("graph: offset/edge mismatch %d vs %d", offsets[numNodes], numEdges)
+	}
+	for node := uint32(0); node < numNodes; node++ {
+		for e := offsets[node]; e < offsets[node+1]; e++ {
+			to, err := get()
+			if err != nil {
+				return nil, err
+			}
+			et, err := get()
+			if err != nil {
+				return nil, err
+			}
+			wbits, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if to >= numNodes || et >= uint32(numEdgeTypes) {
+				return nil, fmt.Errorf("graph: invalid edge %d -> %d type %d", node, to, et)
+			}
+			b.AddEdge(NodeID(node), NodeID(to), EdgeType(et), math.Float32frombits(wbits))
+		}
+	}
+	return b.Build(), nil
+}

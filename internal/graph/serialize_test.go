@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+func randomGraph(seed uint64, n, m int) *Graph {
+	r := rng.New(seed)
+	b := NewBuilder()
+	for i := 0; i < n; i++ {
+		var feats []int32
+		for j := 0; j < 1+r.Intn(4); j++ {
+			feats = append(feats, int32(r.Intn(100)))
+		}
+		var content tensor.Vec
+		if r.Float64() < 0.8 {
+			content = tensor.Vec{r.Float32(), r.Float32() - 0.5, r.Float32() * 3}
+		}
+		b.AddNode(NodeType(i%NumNodeTypes), feats, content)
+	}
+	for i := 0; i < m; i++ {
+		b.AddEdge(NodeID(r.Intn(n)), NodeID(r.Intn(n)), EdgeType(r.Intn(NumEdgeTypes)), r.Float32()+0.1)
+	}
+	return b.Build()
+}
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	if a.ContentDim() != b.ContentDim() {
+		t.Fatalf("content dim %d vs %d", a.ContentDim(), b.ContentDim())
+	}
+	for id := 0; id < a.NumNodes(); id++ {
+		nid := NodeID(id)
+		if a.Type(nid) != b.Type(nid) {
+			t.Fatalf("node %d type mismatch", id)
+		}
+		af, bf := a.Features(nid), b.Features(nid)
+		if len(af) != len(bf) {
+			t.Fatalf("node %d feature count mismatch", id)
+		}
+		for j := range af {
+			if af[j] != bf[j] {
+				t.Fatalf("node %d feature %d mismatch", id, j)
+			}
+		}
+		ac, bc := a.Content(nid), b.Content(nid)
+		if (ac == nil) != (bc == nil) || len(ac) != len(bc) {
+			t.Fatalf("node %d content presence mismatch", id)
+		}
+		for j := range ac {
+			if ac[j] != bc[j] {
+				t.Fatalf("node %d content %d mismatch", id, j)
+			}
+		}
+		an, bn := a.Neighbors(nid), b.Neighbors(nid)
+		if len(an) != len(bn) {
+			t.Fatalf("node %d degree mismatch", id)
+		}
+		for j := range an {
+			if an[j] != bn[j] {
+				t.Fatalf("node %d edge %d mismatch: %v vs %v", id, j, an[j], bn[j])
+			}
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	g := randomGraph(1, 50, 200)
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestSerializeEmptyFeaturesAndContent(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode(User, nil, nil)
+	b.AddNode(Item, []int32{7}, nil)
+	g := b.Build()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, got)
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a graph at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	g := randomGraph(2, 20, 60)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Any truncation must error, never panic or return a bogus graph.
+	for _, cut := range []int{4, 9, len(full) / 2, len(full) - 3} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	g := randomGraph(3, 5, 10)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // corrupt version field
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestWriteToPropagatesWriterErrors(t *testing.T) {
+	g := randomGraph(4, 10, 30)
+	if _, err := g.WriteTo(failingWriter{}); err == nil {
+		t.Fatal("writer error swallowed")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func BenchmarkSerialize(b *testing.B) {
+	g := randomGraph(5, 5000, 40000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeserialize(b *testing.B) {
+	g := randomGraph(6, 5000, 40000)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

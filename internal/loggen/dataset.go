@@ -1,0 +1,104 @@
+package loggen
+
+import (
+	"zoomer/internal/rng"
+)
+
+// MovieLensConfig returns the MovieLens-mode preset: users/tags/movies in
+// the 25M dataset's proportions scaled down ~100x, with tags playing the
+// Query role and movies the Item role. The paper keeps the top-5 relevant
+// tags per movie; the generator's topical structure reproduces that
+// movie-tag relevance concentration.
+func MovieLensConfig(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		Users:           1600,
+		Queries:         300,  // tags
+		Items:           2100, // movies
+		Topics:          18,
+		ContentDim:      16,
+		SessionsPerUser: 4,
+		QueriesPerSess:  2,
+		ClicksPerQuery:  5, // ratings under a tag
+		IntentDrift:     0.35,
+		NoiseClick:      0.15,
+		TopicsPerUser:   3,
+		PopularityExp:   1.0,
+	}
+}
+
+// Example is one labeled CTR training instance: did user u click item i
+// under query q? Indices are world-local (user/query/item index spaces),
+// not graph node ids; graphbuild owns that mapping.
+type Example struct {
+	User, Query, Item int
+	Label             float32
+}
+
+// Dataset is a train/test split of examples.
+type Dataset struct {
+	Train, Test []Example
+}
+
+// BuildExamples extracts labeled examples from the logs: every observed
+// click is a positive; negPerPos negatives are drawn per positive by
+// corrupting the item uniformly (rejecting items actually clicked under
+// the same user-query pair). testFrac of user-query groups go to the test
+// split, grouped so a pair never straddles the split.
+func BuildExamples(l *Logs, negPerPos int, testFrac float64, seed uint64) Dataset {
+	r := rng.New(seed)
+	type uq struct{ u, q int }
+	clicked := make(map[uq]map[int]bool)
+	for _, s := range l.Sessions {
+		for _, ev := range s.Events {
+			k := uq{s.User, ev.Query}
+			m, ok := clicked[k]
+			if !ok {
+				m = make(map[int]bool)
+				clicked[k] = m
+			}
+			for _, c := range ev.Clicks {
+				m[c.Item] = true
+			}
+		}
+	}
+
+	var ds Dataset
+	nItems := len(l.Items)
+	for _, s := range l.Sessions {
+		for _, ev := range s.Events {
+			k := uq{s.User, ev.Query}
+			isTest := splitHash(uint64(k.u), uint64(k.q), l.Config.Seed) < testFrac
+			emit := func(e Example) {
+				if isTest {
+					ds.Test = append(ds.Test, e)
+				} else {
+					ds.Train = append(ds.Train, e)
+				}
+			}
+			for _, c := range ev.Clicks {
+				emit(Example{User: s.User, Query: ev.Query, Item: c.Item, Label: 1})
+				for n := 0; n < negPerPos; n++ {
+					item := r.Intn(nItems)
+					for tries := 0; clicked[k][item] && tries < 8; tries++ {
+						item = r.Intn(nItems)
+					}
+					emit(Example{User: s.User, Query: ev.Query, Item: item, Label: 0})
+				}
+			}
+		}
+	}
+	r.Shuffle(len(ds.Train), func(i, j int) { ds.Train[i], ds.Train[j] = ds.Train[j], ds.Train[i] })
+	r.Shuffle(len(ds.Test), func(i, j int) { ds.Test[i], ds.Test[j] = ds.Test[j], ds.Test[i] })
+	return ds
+}
+
+// splitHash deterministically maps a user-query pair to [0,1) so the
+// train/test split is stable across runs and independent of session order.
+func splitHash(u, q, seed uint64) float64 {
+	x := u*0x9e3779b97f4a7c15 ^ q*0xc2b2ae3d27d4eb4f ^ seed
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return float64(x>>11) / (1 << 53)
+}

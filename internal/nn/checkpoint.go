@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint format: magic, version, then each dense parameter and each
+// embedding table with its name and shape. Loading validates names and
+// shapes against the live model, so a checkpoint can only be restored
+// into the architecture that produced it — the contract a production
+// trainer/server pair needs.
+const (
+	ckptMagic   = 0x5a4d434b // "ZMCK"
+	ckptVersion = 1
+)
+
+type ckptWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (cw *ckptWriter) u32(v uint32) {
+	if cw.err != nil {
+		return
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, cw.err = cw.w.Write(buf[:])
+}
+
+func (cw *ckptWriter) f32s(vs []float32) {
+	for _, v := range vs {
+		cw.u32(math.Float32bits(v))
+	}
+}
+
+func (cw *ckptWriter) str(s string) {
+	cw.u32(uint32(len(s)))
+	if cw.err == nil {
+		_, cw.err = cw.w.WriteString(s)
+	}
+}
+
+type ckptReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (cr *ckptReader) u32() uint32 {
+	if cr.err != nil {
+		return 0
+	}
+	var buf [4]byte
+	_, cr.err = io.ReadFull(cr.r, buf[:])
+	return binary.LittleEndian.Uint32(buf[:])
+}
+
+func (cr *ckptReader) f32s(dst []float32) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(cr.u32())
+	}
+}
+
+func (cr *ckptReader) str() string {
+	n := cr.u32()
+	if cr.err != nil || n > 1<<16 {
+		if cr.err == nil {
+			cr.err = fmt.Errorf("nn: implausible name length %d", n)
+		}
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(cr.r, buf); err != nil {
+		cr.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+// SaveCheckpoint writes params and tables to w.
+func SaveCheckpoint(w io.Writer, params []*Param, tables []*EmbeddingTable) error {
+	cw := &ckptWriter{w: bufio.NewWriter(w)}
+	cw.u32(ckptMagic)
+	cw.u32(ckptVersion)
+	cw.u32(uint32(len(params)))
+	cw.u32(uint32(len(tables)))
+	for _, p := range params {
+		cw.str(p.Name)
+		cw.u32(uint32(p.Val.Rows))
+		cw.u32(uint32(p.Val.Cols))
+		cw.f32s(p.Val.Data)
+	}
+	for _, t := range tables {
+		cw.str(t.Name)
+		cw.u32(uint32(t.Vocab()))
+		cw.u32(uint32(t.Dim))
+		cw.f32s(t.rows.Data)
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	return cw.w.Flush()
+}
+
+// LoadCheckpoint restores params and tables from r. The checkpoint's
+// names, shapes, and ordering must match the live model exactly.
+// Optimizer state (Adam moments) is not checkpointed; training resumes
+// with fresh moments, as XDL's sparse path does after failover.
+func LoadCheckpoint(r io.Reader, params []*Param, tables []*EmbeddingTable) error {
+	cr := &ckptReader{r: bufio.NewReader(r)}
+	if m := cr.u32(); cr.err == nil && m != ckptMagic {
+		return fmt.Errorf("nn: bad checkpoint magic %#x", m)
+	}
+	if v := cr.u32(); cr.err == nil && v != ckptVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", v)
+	}
+	if n := cr.u32(); cr.err == nil && int(n) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d params, model has %d", n, len(params))
+	}
+	if n := cr.u32(); cr.err == nil && int(n) != len(tables) {
+		return fmt.Errorf("nn: checkpoint has %d tables, model has %d", n, len(tables))
+	}
+	for _, p := range params {
+		name := cr.str()
+		rows, cols := cr.u32(), cr.u32()
+		if cr.err != nil {
+			return cr.err
+		}
+		if name != p.Name {
+			return fmt.Errorf("nn: checkpoint param %q, model expects %q", name, p.Name)
+		}
+		if int(rows) != p.Val.Rows || int(cols) != p.Val.Cols {
+			return fmt.Errorf("nn: param %q shape %dx%d, model has %dx%d", name, rows, cols, p.Val.Rows, p.Val.Cols)
+		}
+		cr.f32s(p.Val.Data)
+	}
+	for _, t := range tables {
+		name := cr.str()
+		vocab, dim := cr.u32(), cr.u32()
+		if cr.err != nil {
+			return cr.err
+		}
+		if name != t.Name {
+			return fmt.Errorf("nn: checkpoint table %q, model expects %q", name, t.Name)
+		}
+		if int(vocab) != t.Vocab() || int(dim) != t.Dim {
+			return fmt.Errorf("nn: table %q shape %dx%d, model has %dx%d", name, vocab, dim, t.Vocab(), t.Dim)
+		}
+		cr.f32s(t.rows.Data)
+	}
+	return cr.err
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zoomer/internal/rng"
+)
+
+func ckptFixture(seed uint64) ([]*Param, []*EmbeddingTable) {
+	r := rng.New(seed)
+	params := []*Param{
+		NewParam("w1", 3, 4).XavierInit(r),
+		NewParam("b1", 1, 4),
+	}
+	tables := []*EmbeddingTable{
+		NewEmbeddingTable("emb1", 10, 4, r),
+		NewEmbeddingTable("emb2", 5, 4, r),
+	}
+	return params, tables
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	params, tables := ckptFixture(1)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, params, tables); err != nil {
+		t.Fatal(err)
+	}
+	// Fresh model with same architecture but different init.
+	params2, tables2 := ckptFixture(99)
+	if err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), params2, tables2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range params {
+		for j := range params[i].Val.Data {
+			if params[i].Val.Data[j] != params2[i].Val.Data[j] {
+				t.Fatalf("param %d value %d not restored", i, j)
+			}
+		}
+	}
+	for i := range tables {
+		for row := int32(0); row < int32(tables[i].Vocab()); row++ {
+			a, b := tables[i].Row(row), tables2[i].Row(row)
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("table %d row %d not restored", i, row)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckpointRejectsMismatch(t *testing.T) {
+	params, tables := ckptFixture(2)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, params, tables); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong param name.
+	p2, t2 := ckptFixture(2)
+	p2[0].Name = "other"
+	if err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), p2, t2); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+	// Wrong shape.
+	p3, t3 := ckptFixture(2)
+	p3[0] = NewParam("w1", 2, 2)
+	if err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), p3, t3); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	// Wrong table vocab.
+	p4, t4 := ckptFixture(2)
+	t4[0] = NewEmbeddingTable("emb1", 11, 4, rng.New(3))
+	if err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), p4, t4); err == nil {
+		t.Fatal("vocab mismatch accepted")
+	}
+	// Wrong counts.
+	p5, t5 := ckptFixture(2)
+	if err := LoadCheckpoint(bytes.NewReader(buf.Bytes()), p5[:1], t5); err == nil {
+		t.Fatal("count mismatch accepted")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	params, tables := ckptFixture(3)
+	if err := LoadCheckpoint(strings.NewReader("garbage data here"), params, tables); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := LoadCheckpoint(strings.NewReader(""), params, tables); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestCheckpointTruncation(t *testing.T) {
+	params, tables := ckptFixture(4)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, params, tables); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{3, 10, len(data) / 2, len(data) - 2} {
+		p, tb := ckptFixture(4)
+		if err := LoadCheckpoint(bytes.NewReader(data[:cut]), p, tb); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package ps
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"zoomer/internal/rng"
+)
+
+func TestInitPullRoundTrip(t *testing.T) {
+	s := NewServer(Config{Shards: 2, Dim: 3, QueueSize: 8})
+	defer s.Close()
+	k := Key{"emb", 7}
+	s.Init(k, []float32{1, 2, 3})
+	rows := s.Pull([]Key{k, {"emb", 8}})
+	if rows[0][0] != 1 || rows[0][2] != 3 {
+		t.Fatalf("pulled %v", rows[0])
+	}
+	// Unseen key pulls zeros.
+	if rows[1][0] != 0 || rows[1][1] != 0 {
+		t.Fatalf("unseen key pulled %v", rows[1])
+	}
+}
+
+func TestPullReturnsCopies(t *testing.T) {
+	s := NewServer(Config{Shards: 1, Dim: 2, QueueSize: 8})
+	defer s.Close()
+	k := Key{"emb", 1}
+	s.Init(k, []float32{5, 5})
+	row := s.Pull([]Key{k})[0]
+	row[0] = 99
+	again := s.Pull([]Key{k})[0]
+	if again[0] != 5 {
+		t.Fatal("Pull leaked internal storage")
+	}
+}
+
+func TestPushApplies(t *testing.T) {
+	s := NewServer(Config{Shards: 2, Dim: 2, QueueSize: 8})
+	defer s.Close()
+	k := Key{"emb", 3}
+	s.Init(k, []float32{1, 1})
+	s.Push([]Update{{k, []float32{0.5, -0.5}}})
+	s.Flush()
+	row := s.Pull([]Key{k})[0]
+	if row[0] != 1.5 || row[1] != 0.5 {
+		t.Fatalf("after push: %v", row)
+	}
+}
+
+func TestPushCreatesRow(t *testing.T) {
+	s := NewServer(Config{Shards: 1, Dim: 2, QueueSize: 8})
+	defer s.Close()
+	k := Key{"emb", 11}
+	s.Push([]Update{{k, []float32{2, 3}}})
+	s.Flush()
+	row := s.Pull([]Key{k})[0]
+	if row[0] != 2 || row[1] != 3 {
+		t.Fatalf("push-created row: %v", row)
+	}
+}
+
+func TestConcurrentPushersConsistentSum(t *testing.T) {
+	s := NewServer(Config{Shards: 4, Dim: 1, QueueSize: 256})
+	defer s.Close()
+	k := Key{"emb", 0}
+	s.Init(k, []float32{0})
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Push([]Update{{k, []float32{1}}})
+			}
+		}()
+	}
+	wg.Wait()
+	s.Flush()
+	row := s.Pull([]Key{k})[0]
+	if row[0] != workers*per {
+		t.Fatalf("sum = %v, want %d", row[0], workers*per)
+	}
+	m := s.Metrics()
+	if m.Applied != workers*per {
+		t.Fatalf("applied = %d", m.Applied)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	s := NewServer(Config{Shards: 2, Dim: 2, QueueSize: 8})
+	defer s.Close()
+	s.Init(Key{"a", 1}, []float32{1, 2})
+	s.Pull([]Key{{"a", 1}})
+	s.Push([]Update{{Key{"a", 1}, []float32{1, 1}}})
+	s.Flush()
+	m := s.Metrics()
+	if m.Pulls != 1 || m.Pushes != 1 || m.Rows != 1 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	s := NewServer(DefaultConfig())
+	s.Close()
+	s.Close()                                                             // must not panic
+	s.Push([]Update{{Key{"a", 1}, make([]float32, DefaultConfig().Dim)}}) // dropped, no panic
+}
+
+// The end-to-end PS training demo must learn a separable structure, under
+// both sync and async update application.
+func TestTrainMFLearns(t *testing.T) {
+	r := rng.New(1)
+	// Block structure: users 0-19 like items 0-19, users 20-39 like 20-39.
+	var examples []MFExample
+	for i := 0; i < 4000; i++ {
+		u := int32(r.Intn(40))
+		it := int32(r.Intn(40))
+		label := float32(0)
+		if (u < 20) == (it < 20) {
+			label = 1
+		}
+		examples = append(examples, MFExample{u, it, label})
+	}
+	for _, sync := range []bool{false, true} {
+		res := TrainMF(examples, MFConfig{
+			Dim: 8, Workers: 4, Epochs: 8, LR: 0.1, Sync: sync, Seed: 2,
+		})
+		if res.TrainAUC < 0.9 {
+			t.Fatalf("sync=%v: AUC %.3f, want > 0.9", sync, res.TrainAUC)
+		}
+		if res.Metrics.Applied == 0 {
+			t.Fatal("no updates applied")
+		}
+	}
+}
+
+func TestRunPipelinePreservesOrderAndResults(t *testing.T) {
+	items := make([]any, 20)
+	for i := range items {
+		items[i] = i
+	}
+	stages := []Stage{
+		func(v any) any { return v.(int) * 2 },
+		func(v any) any { return v.(int) + 1 },
+	}
+	got := RunPipeline(items, stages, 4)
+	want := RunSequential(items, stages)
+	if len(got) != len(want) {
+		t.Fatal("length mismatch")
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// The pipeline must overlap stage latencies: with three 1ms stages and n
+// items, sequential costs ~3n ms while pipelined costs ~n+2 ms.
+func TestPipelineOverlaps(t *testing.T) {
+	const n = 30
+	items := make([]any, n)
+	for i := range items {
+		items[i] = i
+	}
+	sleepStage := func(v any) any { time.Sleep(time.Millisecond); return v }
+	stages := []Stage{sleepStage, sleepStage, sleepStage}
+
+	t0 := time.Now()
+	RunSequential(items, stages)
+	seq := time.Since(t0)
+
+	t1 := time.Now()
+	RunPipeline(items, stages, 4)
+	pip := time.Since(t1)
+
+	if pip >= seq {
+		t.Fatalf("pipeline (%v) not faster than sequential (%v)", pip, seq)
+	}
+	// Expect roughly 3x; accept anything beyond 1.5x to avoid flakes.
+	if float64(seq)/float64(pip) < 1.15 {
+		t.Fatalf("pipeline speedup only %.2fx", float64(seq)/float64(pip))
+	}
+}
+
+func BenchmarkPushPull(b *testing.B) {
+	s := NewServer(Config{Shards: 4, Dim: 32, QueueSize: 4096})
+	defer s.Close()
+	delta := make([]float32, 32)
+	for i := range delta {
+		delta[i] = 0.01
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := Key{"emb", int32(i % 1000)}
+		s.Pull([]Key{k})
+		s.Push([]Update{{k, delta}})
+	}
+	b.StopTimer()
+	s.Flush()
+}

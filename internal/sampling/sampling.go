@@ -1,0 +1,379 @@
+// Package sampling implements Stage 1 of the Zoomer pipeline — the
+// focal-biased graph sampler that constructs the Region of Interest
+// (§V-C) — together with the downscaling samplers of every baseline the
+// paper compares against (GraphSAGE uniform sampling, PinSage importance
+// walks, Pixie biased walks, PinnerSage cluster importance) and the plain
+// weighted sampling a production graph engine provides.
+//
+// All samplers answer the same question: given an ego node, an optional
+// focal vector, and a budget k, which neighbors enter the sampled
+// subgraph? Multi-hop ROI construction is layered on top by BuildTree.
+package sampling
+
+import (
+	"sort"
+
+	"zoomer/internal/alias"
+	"zoomer/internal/graph"
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// Sampler selects up to k neighbors of ego. focal is the summed focal
+// vector of the request (nil for focal-agnostic samplers). Implementations
+// must not retain the returned slice.
+type Sampler interface {
+	Name() string
+	Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG) []graph.Edge
+}
+
+// RelevanceFunc scores a neighbor's content against the focal vector.
+type RelevanceFunc func(focal, neighbor tensor.Vec) float32
+
+// TanimotoRelevance is the paper's eq. (5) score.
+func TanimotoRelevance(focal, nbr tensor.Vec) float32 { return tensor.Tanimoto(focal, nbr) }
+
+// CosineRelevance is the drop-in replacement the paper notes eq. (5)
+// admits; used by the relevance-score ablation.
+func CosineRelevance(focal, nbr tensor.Vec) float32 { return tensor.Cosine(focal, nbr) }
+
+// FocalBiased is Zoomer's sampler: it scores every neighbor's content
+// vector against the focal vector with Relevance (eq. 5 by default) and
+// keeps the top-k, deterministically preserving the neighbors most
+// relevant to the request's focal interest.
+type FocalBiased struct {
+	Relevance RelevanceFunc
+}
+
+// NewFocalBiased returns the sampler with the paper's eq. (5) relevance.
+func NewFocalBiased() *FocalBiased { return &FocalBiased{Relevance: TanimotoRelevance} }
+
+// Name implements Sampler.
+func (s *FocalBiased) Name() string { return "focal-biased" }
+
+// Sample implements Sampler. With a nil focal it degrades to weight-ranked
+// selection (relevance indistinguishable), keeping behavior total.
+func (s *FocalBiased) Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG) []graph.Edge {
+	nbrs := g.Neighbors(ego)
+	if len(nbrs) <= k {
+		return append([]graph.Edge(nil), nbrs...)
+	}
+	type scored struct {
+		e     graph.Edge
+		score float32
+	}
+	ss := make([]scored, len(nbrs))
+	for i, e := range nbrs {
+		var sc float32
+		if focal != nil {
+			sc = s.Relevance(focal, g.Content(e.To))
+		} else {
+			sc = e.Weight
+		}
+		ss[i] = scored{e, sc}
+	}
+	// Partial selection of the k best by score (ties by weight).
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].e.Weight > ss[j].e.Weight
+	})
+	out := make([]graph.Edge, k)
+	for i := 0; i < k; i++ {
+		out[i] = ss[i].e
+	}
+	return out
+}
+
+// Uniform is GraphSAGE's sampler: k neighbors uniformly without
+// replacement (all neighbors when degree <= k).
+type Uniform struct{}
+
+// Name implements Sampler.
+func (Uniform) Name() string { return "uniform" }
+
+// Sample implements Sampler.
+func (Uniform) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG) []graph.Edge {
+	nbrs := g.Neighbors(ego)
+	if len(nbrs) <= k {
+		return append([]graph.Edge(nil), nbrs...)
+	}
+	// Partial Fisher-Yates over an index view.
+	idx := make([]int, len(nbrs))
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]graph.Edge, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(idx)-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = nbrs[idx[i]]
+	}
+	return out
+}
+
+// Weighted samples k neighbors with replacement proportionally to edge
+// weight using an alias table, the O(1)-per-draw scheme of the paper's
+// graph engine. Duplicates are collapsed, so fewer than k distinct
+// neighbors may return.
+type Weighted struct{}
+
+// Name implements Sampler.
+func (Weighted) Name() string { return "weighted" }
+
+// Sample implements Sampler.
+func (Weighted) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG) []graph.Edge {
+	nbrs := g.Neighbors(ego)
+	if len(nbrs) <= k {
+		return append([]graph.Edge(nil), nbrs...)
+	}
+	weights := make([]float64, len(nbrs))
+	for i, e := range nbrs {
+		weights[i] = float64(e.Weight)
+	}
+	tab, err := alias.New(weights)
+	if err != nil {
+		return Uniform{}.Sample(g, ego, nil, k, r)
+	}
+	seen := make(map[int]bool, k)
+	out := make([]graph.Edge, 0, k)
+	for tries := 0; len(out) < k && tries < 4*k; tries++ {
+		i := tab.Sample(r)
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, nbrs[i])
+		}
+	}
+	return out
+}
+
+// ImportanceWalk is PinSage's sampler: short random walks from the ego
+// estimate visit importance; the k most-visited neighbors are kept with
+// their visit counts as weights.
+type ImportanceWalk struct {
+	Walks, Length int
+}
+
+// NewImportanceWalk returns the sampler with PinSage-like defaults.
+func NewImportanceWalk() *ImportanceWalk { return &ImportanceWalk{Walks: 30, Length: 3} }
+
+// Name implements Sampler.
+func (s *ImportanceWalk) Name() string { return "importance-walk" }
+
+// Sample implements Sampler.
+func (s *ImportanceWalk) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG) []graph.Edge {
+	nbrs := g.Neighbors(ego)
+	if len(nbrs) <= k {
+		return append([]graph.Edge(nil), nbrs...)
+	}
+	visits := make(map[graph.NodeID]int)
+	for w := 0; w < s.Walks; w++ {
+		cur := ego
+		for step := 0; step < s.Length; step++ {
+			cn := g.Neighbors(cur)
+			if len(cn) == 0 {
+				break
+			}
+			cur = cn[r.Intn(len(cn))].To
+			visits[cur]++
+		}
+	}
+	type scored struct {
+		e graph.Edge
+		v int
+	}
+	ss := make([]scored, len(nbrs))
+	for i, e := range nbrs {
+		ss[i] = scored{e, visits[e.To]}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].v != ss[j].v {
+			return ss[i].v > ss[j].v
+		}
+		return ss[i].e.Weight > ss[j].e.Weight
+	})
+	out := make([]graph.Edge, k)
+	for i := 0; i < k; i++ {
+		out[i] = ss[i].e
+	}
+	return out
+}
+
+// BiasedWalk is Pixie's sampler: random walks whose edge choices are
+// biased toward endpoints similar to the user's content vector, with
+// per-walk early stopping.
+type BiasedWalk struct {
+	Walks, Length int
+	Bias          float32 // mixing weight of the content bias in [0,1]
+}
+
+// NewBiasedWalk returns the sampler with Pixie-like defaults.
+func NewBiasedWalk() *BiasedWalk { return &BiasedWalk{Walks: 30, Length: 4, Bias: 0.7} }
+
+// Name implements Sampler.
+func (s *BiasedWalk) Name() string { return "biased-walk" }
+
+// Sample implements Sampler.
+func (s *BiasedWalk) Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG) []graph.Edge {
+	nbrs := g.Neighbors(ego)
+	if len(nbrs) <= k {
+		return append([]graph.Edge(nil), nbrs...)
+	}
+	visits := make(map[graph.NodeID]int)
+	for w := 0; w < s.Walks; w++ {
+		cur := ego
+		steps := 1 + r.Intn(s.Length) // early stopping
+		for step := 0; step < steps; step++ {
+			cn := g.Neighbors(cur)
+			if len(cn) == 0 {
+				break
+			}
+			// Pick two candidates; keep the one more similar to the focal
+			// with probability Bias (cheap biased selection).
+			a := cn[r.Intn(len(cn))]
+			pick := a
+			if focal != nil && r.Float32() < s.Bias {
+				b := cn[r.Intn(len(cn))]
+				if tensor.Cosine(focal, g.Content(b.To)) > tensor.Cosine(focal, g.Content(a.To)) {
+					pick = b
+				}
+			}
+			cur = pick.To
+			visits[cur]++
+		}
+	}
+	type scored struct {
+		e graph.Edge
+		v int
+	}
+	ss := make([]scored, len(nbrs))
+	for i, e := range nbrs {
+		ss[i] = scored{e, visits[e.To]}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].v != ss[j].v {
+			return ss[i].v > ss[j].v
+		}
+		return ss[i].e.Weight > ss[j].e.Weight
+	})
+	out := make([]graph.Edge, k)
+	for i := 0; i < k; i++ {
+		out[i] = ss[i].e
+	}
+	return out
+}
+
+// ClusterImportance is PinnerSage's sampler: neighbors are greedily
+// clustered by content similarity; clusters are ranked by total edge
+// weight (importance) and representatives are taken round-robin from the
+// most important clusters, preserving multi-modal interests.
+type ClusterImportance struct {
+	// SimThreshold controls when a neighbor joins an existing cluster.
+	SimThreshold float32
+}
+
+// NewClusterImportance returns the sampler with PinnerSage-like defaults.
+func NewClusterImportance() *ClusterImportance { return &ClusterImportance{SimThreshold: 0.6} }
+
+// Name implements Sampler.
+func (s *ClusterImportance) Name() string { return "cluster-importance" }
+
+// Sample implements Sampler.
+func (s *ClusterImportance) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG) []graph.Edge {
+	nbrs := g.Neighbors(ego)
+	if len(nbrs) <= k {
+		return append([]graph.Edge(nil), nbrs...)
+	}
+	type cluster struct {
+		centroid tensor.Vec
+		members  []graph.Edge
+		weight   float64
+	}
+	var clusters []*cluster
+	for _, e := range nbrs {
+		c := g.Content(e.To)
+		if c == nil {
+			c = tensor.NewVec(g.ContentDim())
+		}
+		var best *cluster
+		var bestSim float32 = -2
+		for _, cl := range clusters {
+			if sim := tensor.Cosine(cl.centroid, c); sim > bestSim {
+				bestSim, best = sim, cl
+			}
+		}
+		if best == nil || bestSim < s.SimThreshold {
+			clusters = append(clusters, &cluster{
+				centroid: tensor.Copy(c),
+				members:  []graph.Edge{e},
+				weight:   float64(e.Weight),
+			})
+			continue
+		}
+		// Online centroid update.
+		n := float32(len(best.members))
+		for i := range best.centroid {
+			best.centroid[i] = (best.centroid[i]*n + c[i]) / (n + 1)
+		}
+		best.members = append(best.members, e)
+		best.weight += float64(e.Weight)
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].weight > clusters[j].weight })
+	// Heaviest members first within each cluster.
+	for _, cl := range clusters {
+		sort.Slice(cl.members, func(i, j int) bool { return cl.members[i].Weight > cl.members[j].Weight })
+	}
+	out := make([]graph.Edge, 0, k)
+	for round := 0; len(out) < k; round++ {
+		advanced := false
+		for _, cl := range clusters {
+			if round < len(cl.members) {
+				out = append(out, cl.members[round])
+				advanced = true
+				if len(out) == k {
+					break
+				}
+			}
+		}
+		if !advanced {
+			break
+		}
+	}
+	return out
+}
+
+// Tree is a sampled multi-hop neighborhood rooted at an ego node: the ROI
+// subgraph (for the focal-biased sampler) or a baseline's sampled
+// neighborhood. Children[i] is the subtree hanging off Edges[i].
+type Tree struct {
+	Node     graph.NodeID
+	Edges    []graph.Edge
+	Children []*Tree
+}
+
+// Size returns the number of nodes in the tree (with multiplicity).
+func (t *Tree) Size() int {
+	n := 1
+	for _, c := range t.Children {
+		n += c.Size()
+	}
+	return n
+}
+
+// BuildTree expands hops levels from ego with the given sampler and
+// per-hop budget k. Focal biasing (when the sampler uses it) applies at
+// every hop, matching the paper's ROI construction where relevance to the
+// focal governs the whole sampled region.
+func BuildTree(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, hops, k int, s Sampler, r *rng.RNG) *Tree {
+	t := &Tree{Node: ego}
+	if hops == 0 {
+		return t
+	}
+	t.Edges = s.Sample(g, ego, focal, k, r)
+	t.Children = make([]*Tree, len(t.Edges))
+	for i, e := range t.Edges {
+		t.Children[i] = BuildTree(g, e.To, focal, hops-1, k, s, r)
+	}
+	return t
+}

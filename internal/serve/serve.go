@@ -1,0 +1,320 @@
+// Package serve implements the online serving module of §VII-E: a
+// request path that embeds (user, query) pairs with the trimmed model
+// (edge-level attention only, per the paper's deployment), reads sampled
+// neighbors from a cache of the k last-visited neighbors per node with
+// fully asynchronous refresh, and retrieves items from the two-layer
+// inverted index. A load generator measures response time against offered
+// QPS — the Fig. 9 experiment.
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zoomer/internal/ann"
+	"zoomer/internal/core"
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// Embedder computes request and item embeddings from exported serving
+// weights: edge-attention-only aggregation over cached neighbors, then
+// the twin towers — all tape-free float32 math for serving throughput.
+type Embedder struct {
+	sw *core.ServingWeights
+}
+
+// NewEmbedder wraps exported weights.
+func NewEmbedder(sw *core.ServingWeights) *Embedder { return &Embedder{sw: sw} }
+
+// aggregate applies the trimmed (edge-level only) attention over the
+// cached neighbor set: softmax over LeakyReLU(a·[zf ‖ zj ‖ C]).
+func (e *Embedder) aggregate(ego graph.NodeID, nbrs []graph.NodeID, C tensor.Vec, a tensor.Vec) tensor.Vec {
+	sw := e.sw
+	zf := sw.Base[ego]
+	if len(nbrs) == 0 {
+		return tensor.Copy(zf)
+	}
+	d := sw.Dim
+	scores := make(tensor.Vec, len(nbrs))
+	cat := make(tensor.Vec, 3*d)
+	copy(cat[:d], zf)
+	copy(cat[2*d:], C)
+	for i, nb := range nbrs {
+		copy(cat[d:2*d], sw.Base[nb])
+		s := tensor.Dot(cat, a)
+		if s < 0 {
+			s *= 0.2 // LeakyReLU
+		}
+		scores[i] = s
+	}
+	tensor.Softmax(scores, scores)
+	out := tensor.Copy(zf) // residual
+	for i, nb := range nbrs {
+		tensor.Axpy(scores[i], sw.Base[nb], out)
+	}
+	return out
+}
+
+// UserQuery embeds a request given cached neighbor sets for the user and
+// query nodes.
+func (e *Embedder) UserQuery(u, q graph.NodeID, nbrsU, nbrsQ []graph.NodeID) tensor.Vec {
+	sw := e.sw
+	C := sw.MapUser.Apply(sw.Base[u])
+	tensor.Axpy(1, sw.MapQuery.Apply(sw.Base[q]), C)
+	hu := e.aggregate(u, nbrsU, C, sw.AttnUser)
+	hq := e.aggregate(q, nbrsQ, C, sw.AttnQuery)
+	cat := make(tensor.Vec, 0, 2*sw.Dim)
+	cat = append(cat, hu...)
+	cat = append(cat, hq...)
+	return core.ApplyMLP(sw.TowerUQ, cat)
+}
+
+// Item embeds an item through the exported item tower.
+func (e *Embedder) Item(id graph.NodeID) tensor.Vec {
+	return core.ApplyMLP(e.sw.TowerItem, e.sw.Base[id])
+}
+
+// NeighborCache stores the k last-sampled neighbors per node. Hits return
+// immediately and enqueue an asynchronous refresh, decoupling the
+// sampling path from the request path exactly as §VII-E describes
+// ("cache updating is fully asynchronous from users' timely requests").
+type NeighborCache struct {
+	eng *engine.Engine
+	k   int
+
+	mu      sync.RWMutex
+	entries map[graph.NodeID][]graph.NodeID
+
+	refresh chan graph.NodeID
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	hits, misses, refreshes atomic.Int64
+}
+
+// NewNeighborCache starts a cache over eng with per-node budget k and one
+// background refresher. Close must be called.
+func NewNeighborCache(eng *engine.Engine, k int, seed uint64) *NeighborCache {
+	c := &NeighborCache{
+		eng:     eng,
+		k:       k,
+		entries: make(map[graph.NodeID][]graph.NodeID),
+		refresh: make(chan graph.NodeID, 1024),
+		done:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		r := rng.New(seed)
+		for {
+			select {
+			case <-c.done:
+				return
+			case id := <-c.refresh:
+				nbrs := c.eng.SampleNeighbors(id, c.k, r)
+				c.mu.Lock()
+				c.entries[id] = nbrs
+				c.mu.Unlock()
+				c.refreshes.Add(1)
+			}
+		}
+	}()
+	return c
+}
+
+// Get returns the cached neighbor set for id, sampling synchronously on
+// a miss. Hits schedule an asynchronous refresh (best effort).
+func (c *NeighborCache) Get(id graph.NodeID, r *rng.RNG) []graph.NodeID {
+	c.mu.RLock()
+	nbrs, ok := c.entries[id]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		select {
+		case c.refresh <- id:
+		default: // refresher busy; skip
+		}
+		return nbrs
+	}
+	c.misses.Add(1)
+	nbrs = c.eng.SampleNeighbors(id, c.k, r)
+	c.mu.Lock()
+	c.entries[id] = nbrs
+	c.mu.Unlock()
+	return nbrs
+}
+
+// Stats reports cache counters.
+func (c *NeighborCache) Stats() (hits, misses, refreshes int64) {
+	return c.hits.Load(), c.misses.Load(), c.refreshes.Load()
+}
+
+// Close stops the refresher.
+func (c *NeighborCache) Close() {
+	close(c.done)
+	c.wg.Wait()
+}
+
+// Config sizes the server.
+type Config struct {
+	Workers   int
+	CacheK    int // paper: 30
+	TopK      int
+	NProbe    int
+	QueueSize int
+	Seed      uint64
+}
+
+// DefaultConfig mirrors the production description.
+func DefaultConfig() Config {
+	return Config{Workers: 4, CacheK: 30, TopK: 100, NProbe: 4, QueueSize: 4096, Seed: 1}
+}
+
+// Server is the online retrieval service: request queue, worker pool,
+// neighbor cache, embedder and ANN index.
+type Server struct {
+	cfg   Config
+	emb   *Embedder
+	cache *NeighborCache
+	index *ann.Index
+
+	queue chan request
+	wg    sync.WaitGroup
+
+	served, dropped atomic.Int64
+}
+
+type request struct {
+	user, query graph.NodeID
+	enqueued    time.Time
+	resp        chan Response
+}
+
+// Response is the retrieval result with end-to-end latency (queue wait
+// included).
+type Response struct {
+	Items   []ann.Result
+	Latency time.Duration
+}
+
+// NewServer starts the worker pool. Close must be called.
+func NewServer(emb *Embedder, cache *NeighborCache, index *ann.Index, cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 1024
+	}
+	s := &Server{
+		cfg:   cfg,
+		emb:   emb,
+		cache: cache,
+		index: index,
+		queue: make(chan request, cfg.QueueSize),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker(uint64(w) + cfg.Seed)
+	}
+	return s
+}
+
+func (s *Server) worker(seed uint64) {
+	defer s.wg.Done()
+	r := rng.New(seed)
+	for req := range s.queue {
+		nbrsU := s.cache.Get(req.user, r)
+		nbrsQ := s.cache.Get(req.query, r)
+		uq := s.emb.UserQuery(req.user, req.query, nbrsU, nbrsQ)
+		items := s.index.Search(uq, s.cfg.TopK, s.cfg.NProbe)
+		s.served.Add(1)
+		req.resp <- Response{Items: items, Latency: time.Since(req.enqueued)}
+	}
+}
+
+// Submit enqueues a request; it returns false (drop) when the queue is
+// full — the overload behavior the RT-vs-QPS sweep exposes.
+func (s *Server) Submit(user, query graph.NodeID, resp chan Response) bool {
+	select {
+	case s.queue <- request{user: user, query: query, enqueued: time.Now(), resp: resp}:
+		return true
+	default:
+		s.dropped.Add(1)
+		return false
+	}
+}
+
+// Close drains and stops the workers.
+func (s *Server) Close() {
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// LoadStats summarizes a load test.
+type LoadStats struct {
+	OfferedQPS            float64
+	Served, Dropped       int64
+	MeanRT, P50, P95, P99 time.Duration
+}
+
+// LoadTest offers an open-loop request stream at qps for the duration and
+// reports latency statistics. Requests are (user, query) pairs drawn from
+// the provided pools.
+func LoadTest(s *Server, users, queries []graph.NodeID, qps float64, d time.Duration, seed uint64) LoadStats {
+	r := rng.New(seed)
+	interval := time.Duration(float64(time.Second) / qps)
+	deadline := time.Now().Add(d)
+	resp := make(chan Response, 65536)
+
+	var sent int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		next := time.Now()
+		for time.Now().Before(deadline) {
+			u := users[r.Intn(len(users))]
+			q := queries[r.Intn(len(queries))]
+			if s.Submit(u, q, resp) {
+				sent++
+			}
+			next = next.Add(interval)
+			if sleep := time.Until(next); sleep > 0 {
+				time.Sleep(sleep)
+			}
+		}
+	}()
+	wg.Wait()
+
+	lats := make([]time.Duration, 0, sent)
+	timeout := time.After(5 * time.Second)
+	for int64(len(lats)) < sent {
+		select {
+		case rsp := <-resp:
+			lats = append(lats, rsp.Latency)
+		case <-timeout:
+			// Stuck responses counted as drops.
+			goto done
+		}
+	}
+done:
+	st := LoadStats{OfferedQPS: qps, Served: s.served.Load(), Dropped: s.dropped.Load()}
+	if len(lats) == 0 {
+		return st
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	st.MeanRT = sum / time.Duration(len(lats))
+	st.P50 = lats[len(lats)/2]
+	st.P95 = lats[len(lats)*95/100]
+	st.P99 = lats[len(lats)*99/100]
+	return st
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"zoomer/internal/ann"
+	"zoomer/internal/core"
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// harness builds a trained-ish model, exports serving weights, and stands
+// up the full serving stack.
+type harness struct {
+	g              *graph.Graph
+	model          *core.Zoomer
+	emb            *Embedder
+	cache          *NeighborCache
+	index          *ann.Index
+	users, queries []graph.NodeID
+}
+
+func buildHarness(t testing.TB) *harness {
+	t.Helper()
+	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 1))
+	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
+	cfg := core.DefaultConfig()
+	cfg.EmbedDim = 16
+	cfg.OutDim = 16
+	cfg.Hops = 1
+	cfg.FanOut = 4
+	model := core.NewZoomer(res.Graph, logs.Vocab(), cfg, 2)
+	sw := model.ExportServing()
+	emb := NewEmbedder(sw)
+
+	eng := engine.New(res.Graph, engine.DefaultConfig())
+	cache := NewNeighborCache(eng, 8, 3)
+	t.Cleanup(cache.Close)
+
+	items := res.Graph.NodesOfType(graph.Item)
+	ids := make([]int64, len(items))
+	vecs := make([]tensor.Vec, len(items))
+	for i, it := range items {
+		ids[i] = int64(it)
+		vecs[i] = emb.Item(it)
+	}
+	index := ann.Build(ids, vecs, ann.Config{NumLists: 8, Iters: 4, Seed: 4})
+	return &harness{
+		g:       res.Graph,
+		model:   model,
+		emb:     emb,
+		cache:   cache,
+		index:   index,
+		users:   res.Graph.NodesOfType(graph.User),
+		queries: res.Graph.NodesOfType(graph.Query),
+	}
+}
+
+func TestEmbedderShapesAndFiniteness(t *testing.T) {
+	h := buildHarness(t)
+	r := rng.New(5)
+	u, q := h.users[0], h.queries[0]
+	nbrsU := h.cache.Get(u, r)
+	nbrsQ := h.cache.Get(q, r)
+	uq := h.emb.UserQuery(u, q, nbrsU, nbrsQ)
+	if len(uq) != 16 {
+		t.Fatalf("uq dim %d", len(uq))
+	}
+	for _, v := range uq {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("non-finite serving embedding")
+		}
+	}
+	it := h.emb.Item(h.g.NodesOfType(graph.Item)[0])
+	if len(it) != 16 {
+		t.Fatalf("item dim %d", len(it))
+	}
+}
+
+// The fast serving path must agree with the training-graph item tower:
+// both are the same computation.
+func TestServingItemMatchesModel(t *testing.T) {
+	h := buildHarness(t)
+	r := rng.New(6)
+	item := h.g.NodesOfType(graph.Item)[3]
+	fast := h.emb.Item(item)
+	slow := h.model.ItemEmbedding(item, r)
+	for i := range fast {
+		if math.Abs(float64(fast[i]-slow[i])) > 1e-4 {
+			t.Fatalf("serving item embedding diverges at %d: %v vs %v", i, fast[i], slow[i])
+		}
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	h := buildHarness(t)
+	r := rng.New(7)
+	id := h.users[1]
+	h.cache.Get(id, r) // miss
+	h.cache.Get(id, r) // hit
+	h.cache.Get(id, r) // hit
+	hits, misses, _ := h.cache.Stats()
+	if misses < 1 || hits < 2 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheAsyncRefreshRuns(t *testing.T) {
+	h := buildHarness(t)
+	r := rng.New(8)
+	id := h.users[2]
+	h.cache.Get(id, r)
+	for i := 0; i < 50; i++ {
+		h.cache.Get(id, r)
+	}
+	// Give the refresher a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, refreshes := h.cache.Stats(); refreshes > 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("asynchronous refresh never ran")
+}
+
+func TestServerServesRequests(t *testing.T) {
+	h := buildHarness(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.TopK = 10
+	srv := NewServer(h.emb, h.cache, h.index, cfg)
+	defer srv.Close()
+
+	resp := make(chan Response, 16)
+	for i := 0; i < 10; i++ {
+		if !srv.Submit(h.users[i%len(h.users)], h.queries[i%len(h.queries)], resp) {
+			t.Fatal("submit rejected under light load")
+		}
+	}
+	for i := 0; i < 10; i++ {
+		select {
+		case rsp := <-resp:
+			if len(rsp.Items) == 0 || len(rsp.Items) > 10 {
+				t.Fatalf("bad item count %d", len(rsp.Items))
+			}
+			if rsp.Latency <= 0 {
+				t.Fatal("non-positive latency")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("response timeout")
+		}
+	}
+}
+
+func TestLoadTestProducesStats(t *testing.T) {
+	h := buildHarness(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	srv := NewServer(h.emb, h.cache, h.index, cfg)
+	defer srv.Close()
+	st := LoadTest(srv, h.users, h.queries, 500, 200*time.Millisecond, 9)
+	if st.Served == 0 {
+		t.Fatal("no requests served")
+	}
+	if st.MeanRT <= 0 || st.P99 < st.P50 {
+		t.Fatalf("inconsistent stats %+v", st)
+	}
+}
+
+// Response time must grow (or at least not shrink drastically) as offered
+// load rises toward saturation — the Fig. 9 shape.
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	h := buildHarness(t)
+	cfg := DefaultConfig()
+	cfg.Workers = 1 // low capacity so the test saturates quickly
+	srv := NewServer(h.emb, h.cache, h.index, cfg)
+	defer srv.Close()
+
+	low := LoadTest(srv, h.users, h.queries, 200, 300*time.Millisecond, 10)
+	high := LoadTest(srv, h.users, h.queries, 50000, 300*time.Millisecond, 11)
+	if low.Served == 0 || high.Served == 0 {
+		t.Skip("load generator starved; environment too slow")
+	}
+	if high.MeanRT < low.MeanRT {
+		t.Fatalf("mean RT fell under 250x load: %v -> %v", low.MeanRT, high.MeanRT)
+	}
+}
+
+func BenchmarkServingEmbedding(b *testing.B) {
+	h := buildHarness(b)
+	r := rng.New(1)
+	u, q := h.users[0], h.queries[0]
+	nbrsU := h.cache.Get(u, r)
+	nbrsQ := h.cache.Get(q, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.emb.UserQuery(u, q, nbrsU, nbrsQ)
+	}
+}
+
+func BenchmarkEndToEndRequest(b *testing.B) {
+	h := buildHarness(b)
+	cfg := DefaultConfig()
+	srv := NewServer(h.emb, h.cache, h.index, cfg)
+	defer srv.Close()
+	resp := make(chan Response, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.Submit(h.users[i%len(h.users)], h.queries[i%len(h.queries)], resp)
+		<-resp
+	}
+}
