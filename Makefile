@@ -1,0 +1,20 @@
+# Tier-1 verification and perf tooling for the Zoomer reproduction.
+
+.PHONY: verify test race bench
+
+# The tier-1 loop: vet + build + test.
+verify:
+	go vet ./...
+	go build ./...
+	go test ./...
+
+test:
+	go test ./...
+
+# Race-exercise the concurrent serving stack.
+race:
+	go test -race ./internal/engine/... ./internal/serve/... ./internal/sampling/...
+
+# Hot-path benchmarks -> BENCH_hotpath.json (perf trajectory across PRs).
+bench:
+	./bench.sh

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# bench.sh — run the retrieval hot-path benchmarks and emit
+# BENCH_hotpath.json, the perf trajectory future PRs compare against.
+#
+# Usage: ./bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+OUT="${1:-BENCH_hotpath.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+# Pin GOMAXPROCS so the -N suffix go test appends to benchmark names is
+# known exactly (cgroup limits can make Go's effective value differ from
+# nproc), keeping JSON keys stable across environments.
+export GOMAXPROCS="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
+
+echo "== go vet ./... (tier-1 gate)" >&2
+go vet ./...
+
+echo "== hot-path benchmarks" >&2
+go test -run '^$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkSampleNeighbors' -benchmem -count 1 ./internal/engine/ | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkFocalBiased|BenchmarkBuildTree' -benchmem -count 1 ./internal/sampling/ | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkServingEmbedding|BenchmarkEndToEndRequest' -benchmem -count 1 ./internal/serve/ | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkAblationAlias' -benchmem -count 1 . | tee -a "$TMP" >&2
+
+# Fold "BenchmarkName  N  x ns/op  y B/op  z allocs/op" lines into JSON.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$GOMAXPROCS" '
+BEGIN { print "{"; printf "  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date }
+/^Benchmark/ {
+    name = $1
+    # go test appends -GOMAXPROCS only when it exceeds 1; strip exactly it
+    # so subtest suffixes like alias-deg-256 survive.
+    if (procs > 1) sub("-" procs "$", "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (count++) printf ",\n"
+    printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+        name, ns, (bytes == "" ? "null" : bytes), (allocs == "" ? "null" : allocs)
+}
+END { print "\n  }\n}" }
+' "$TMP" > "$OUT.new"
+
+# Preserve the committed "baseline" section (the pre-refactor numbers PR 1
+# recorded) so every regeneration keeps the comparison anchor. Refuse to
+# clobber it silently when the merge tool is missing.
+if [ -f "$OUT" ] && grep -q '"baseline"' "$OUT" && ! command -v python3 >/dev/null; then
+    echo "error: $OUT has a baseline section but python3 is unavailable to preserve it; aborting" >&2
+    exit 1
+fi
+if [ -f "$OUT" ] && command -v python3 >/dev/null; then
+    python3 - "$OUT" "$OUT.new" <<'PY'
+import json, sys
+old_path, new_path = sys.argv[1], sys.argv[2]
+try:
+    with open(old_path) as f:
+        old = json.load(f)
+except Exception:
+    old = {}
+with open(new_path) as f:
+    new = json.load(f)
+if "baseline" in old:
+    new["baseline"] = old["baseline"]
+with open(new_path, "w") as f:
+    json.dump(new, f, indent=2)
+    f.write("\n")
+PY
+fi
+mv "$OUT.new" "$OUT"
+
+echo "wrote $OUT" >&2

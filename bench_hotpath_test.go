@@ -1,0 +1,128 @@
+package main_test
+
+import (
+	"testing"
+
+	"zoomer/internal/core"
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/rng"
+	"zoomer/internal/sampling"
+	"zoomer/internal/serve"
+)
+
+// hotPathWorld stands up the serving stack the BenchmarkHotPath* family
+// measures: graph, engine with precomputed alias tables, exported
+// serving weights and a warm neighbor cache.
+type hotPathWorld struct {
+	g     *graph.Graph
+	eng   *engine.Engine
+	emb   *serve.Embedder
+	nbrsU []graph.NodeID
+	nbrsQ []graph.NodeID
+	user  graph.NodeID
+	query graph.NodeID
+}
+
+func buildHotPathWorld(b *testing.B) *hotPathWorld {
+	b.Helper()
+	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 1))
+	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
+	g := res.Graph
+	cfg := core.DefaultConfig()
+	cfg.EmbedDim = 32
+	cfg.OutDim = 32
+	model := core.NewZoomer(g, logs.Vocab(), cfg, 2)
+	emb := serve.NewEmbedder(model.ExportServing())
+	eng := engine.New(g, engine.DefaultConfig())
+
+	r := rng.New(3)
+	w := &hotPathWorld{
+		g:     g,
+		eng:   eng,
+		emb:   emb,
+		user:  g.NodesOfType(graph.User)[0],
+		query: g.NodesOfType(graph.Query)[0],
+	}
+	w.nbrsU = eng.SampleNeighbors(w.user, 30, r)
+	w.nbrsQ = eng.SampleNeighbors(w.query, 30, r)
+	return w
+}
+
+// BenchmarkHotPathSampleNeighbors measures the lock-free engine sampler
+// writing into a caller-owned buffer: the steady-state cache-refresh
+// path. Must report 0 allocs/op.
+func BenchmarkHotPathSampleNeighbors(b *testing.B) {
+	w := buildHotPathWorld(b)
+	r := rng.New(1)
+	ids := make([]graph.NodeID, 256)
+	for i := range ids {
+		ids[i] = graph.NodeID(r.Intn(w.g.NumNodes()))
+	}
+	buf := make([]graph.NodeID, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.eng.SampleNeighborsInto(ids[i%len(ids)], buf, r)
+	}
+}
+
+// BenchmarkHotPathFocalBiased measures the eq. (5) sampler with a reused
+// scratch: fused Tanimoto scoring plus bounded-heap top-k. Must report
+// 0 allocs/op.
+func BenchmarkHotPathFocalBiased(b *testing.B) {
+	w := buildHotPathWorld(b)
+	s := sampling.NewFocalBiased()
+	r := rng.New(2)
+	var ego graph.NodeID
+	for id := 0; id < w.g.NumNodes(); id++ {
+		if w.g.Degree(graph.NodeID(id)) >= 20 {
+			ego = graph.NodeID(id)
+			break
+		}
+	}
+	focal := w.g.Content(ego)
+	sc := sampling.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Sample(w.g, ego, focal, 10, r, sc)
+	}
+}
+
+// BenchmarkHotPathBuildTree measures steady-state ROI construction off
+// the scratch arena.
+func BenchmarkHotPathBuildTree(b *testing.B) {
+	w := buildHotPathWorld(b)
+	s := sampling.NewFocalBiased()
+	r := rng.New(2)
+	var ego graph.NodeID
+	for id := 0; id < w.g.NumNodes(); id++ {
+		if w.g.Degree(graph.NodeID(id)) >= 20 {
+			ego = graph.NodeID(id)
+			break
+		}
+	}
+	focal := w.g.Content(ego)
+	sc := sampling.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Reset()
+		_ = sampling.BuildTree(w.g, ego, focal, 2, 10, s, r, sc)
+	}
+}
+
+// BenchmarkHotPathUserQuery measures the trimmed-model request embedding
+// with a per-worker scratch. Must report 0 allocs/op.
+func BenchmarkHotPathUserQuery(b *testing.B) {
+	w := buildHotPathWorld(b)
+	sc := w.emb.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.emb.UserQuery(w.user, w.query, w.nbrsU, w.nbrsQ, sc)
+	}
+}

@@ -162,7 +162,7 @@ func BenchmarkAblationRelevanceScore(b *testing.B) {
 			s := &sampling.FocalBiased{Relevance: bc.rel}
 			r := rng.New(2)
 			for i := 0; i < b.N; i++ {
-				_ = s.Sample(g, ego, focal, 5, r)
+				_ = s.Sample(g, ego, focal, 5, r, nil)
 			}
 		})
 	}

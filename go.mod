@@ -1,0 +1,3 @@
+module zoomer
+
+go 1.22

@@ -27,64 +27,114 @@ func New(weights []float64) (*Table, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("alias: empty weight vector")
 	}
-	var sum float64
-	for i, w := range weights {
-		if w < 0 {
-			return nil, fmt.Errorf("alias: negative weight %v at index %d", w, i)
-		}
-		sum += w
-	}
-	if sum == 0 {
-		return nil, fmt.Errorf("alias: all weights are zero")
-	}
-
 	t := &Table{
 		prob:  make([]float64, n),
 		alias: make([]int32, n),
 	}
-	// Scaled probabilities: p_i * n.
-	scaled := make([]float64, n)
-	scale := float64(n) / sum
+	if err := BuildInto(t.prob, t.alias, weights, make([]int32, n)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// BuildInto constructs an alias table over weights directly into prob and
+// aliasIdx, both of length len(weights), using stack (also length
+// len(weights)) as scratch — no heap allocation. This is the kernel the
+// graph engine uses to precompute one flat, CSR-aligned table for every
+// adjacency list at startup. A slot i is sampled by drawing a uniform
+// index and accepting it with probability prob[i], else taking
+// aliasIdx[i] — exactly Table.Sample over the same arrays.
+//
+// It returns an error (leaving the output unspecified) if weights is
+// empty, any weight is negative, or all weights are zero.
+func BuildInto(prob []float64, aliasIdx []int32, weights []float64, stack []int32) error {
+	n := len(weights)
+	if n == 0 {
+		return fmt.Errorf("alias: empty weight vector")
+	}
+	if len(prob) != n || len(aliasIdx) != n || len(stack) < n {
+		return fmt.Errorf("alias: BuildInto buffer sizes %d/%d/%d for %d weights",
+			len(prob), len(aliasIdx), len(stack), n)
+	}
+	var sum float64
 	for i, w := range weights {
-		scaled[i] = w * scale
+		if w < 0 {
+			return fmt.Errorf("alias: negative weight %v at index %d", w, i)
+		}
+		sum += w
+	}
+	if sum == 0 {
+		return fmt.Errorf("alias: all weights are zero")
 	}
 
-	// Partition into small (<1) and large (>=1) stacks.
-	small := make([]int32, 0, n)
-	large := make([]int32, 0, n)
-	for i, p := range scaled {
-		if p < 1 {
-			small = append(small, int32(i))
+	// Scaled probabilities p_i*n go straight into prob: the Vose loop
+	// finalizes each "small" slot exactly when it pops it, so prob doubles
+	// as the scaled-weight working array.
+	scale := float64(n) / sum
+	for i, w := range weights {
+		prob[i] = w * scale
+	}
+
+	// Partition indices into the two stacks sharing one scratch array:
+	// small grows from the front, large from the back.
+	si, li := 0, n
+	for i := n - 1; i >= 0; i-- {
+		if prob[i] < 1 {
+			stack[si] = int32(i)
+			si++
 		} else {
-			large = append(large, int32(i))
+			li--
+			stack[li] = int32(i)
 		}
 	}
 
-	for len(small) > 0 && len(large) > 0 {
-		s := small[len(small)-1]
-		small = small[:len(small)-1]
-		l := large[len(large)-1]
-		large = large[:len(large)-1]
+	for si > 0 && li < n {
+		si--
+		s := stack[si]
+		l := stack[li]
+		li++
 
-		t.prob[s] = scaled[s]
-		t.alias[s] = l
-		scaled[l] -= 1 - scaled[s]
-		if scaled[l] < 1 {
-			small = append(small, l)
+		aliasIdx[s] = l
+		prob[l] -= 1 - prob[s]
+		if prob[l] < 1 {
+			stack[si] = l
+			si++
 		} else {
-			large = append(large, l)
+			li--
+			stack[li] = l
 		}
 	}
 	// Residuals are 1 up to float error.
-	for _, l := range large {
-		t.prob[l] = 1
-		t.alias[l] = l
+	for ; li < n; li++ {
+		prob[stack[li]] = 1
+		aliasIdx[stack[li]] = stack[li]
 	}
-	for _, s := range small {
-		t.prob[s] = 1
-		t.alias[s] = s
+	for si > 0 {
+		si--
+		prob[stack[si]] = 1
+		aliasIdx[stack[si]] = stack[si]
 	}
-	return t, nil
+	return nil
+}
+
+// MustBuildInto is BuildInto but panics on error; for inputs known to be
+// valid (e.g. uniform fallback weights).
+func MustBuildInto(prob []float64, aliasIdx []int32, weights []float64, stack []int32) {
+	if err := BuildInto(prob, aliasIdx, weights, stack); err != nil {
+		panic(err)
+	}
+}
+
+// SampleFrom draws an outcome index in [0, len(prob)) from arrays built
+// by BuildInto: the one authoritative implementation of the alias draw,
+// shared by Table.Sample and every flat-table consumer. It panics on
+// empty arrays (via Intn).
+func SampleFrom(prob []float64, aliasIdx []int32, r *rng.RNG) int {
+	i := r.Intn(len(prob))
+	if r.Float64() < prob[i] {
+		return i
+	}
+	return int(aliasIdx[i])
 }
 
 // MustNew is New but panics on error; for static tables known to be valid.
@@ -102,15 +152,10 @@ func (t *Table) N() int { return len(t.prob) }
 // Sample draws an outcome index in [0, N()) with probability proportional
 // to its construction weight. It panics on an empty table.
 func (t *Table) Sample(r *rng.RNG) int {
-	n := len(t.prob)
-	if n == 0 {
+	if len(t.prob) == 0 {
 		panic("alias: sampling from empty table")
 	}
-	i := r.Intn(n)
-	if r.Float64() < t.prob[i] {
-		return i
-	}
-	return int(t.alias[i])
+	return SampleFrom(t.prob, t.alias, r)
 }
 
 // SampleMany draws k outcomes with replacement into a new slice.

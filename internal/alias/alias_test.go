@@ -159,3 +159,91 @@ func benchSample(b *testing.B, n int) {
 	}
 	_ = sink
 }
+
+// An alias table is correct iff the marginal probability each outcome
+// receives — prob[i]/n directly, plus (1-prob[j])/n from every slot j
+// aliased to it — equals w_i/Σw. Checking that reconstruction against
+// the raw weights validates BuildInto against the algebra rather than
+// against New (which delegates to it and would make the test circular).
+func TestBuildIntoReconstructsWeights(t *testing.T) {
+	r := rng.New(21)
+	for _, n := range []int{1, 2, 7, 64, 1000} {
+		weights := make([]float64, n)
+		var sum float64
+		for i := range weights {
+			weights[i] = r.Float64() * float64(1+i%5)
+		}
+		weights[r.Intn(n)] = 0 // exercise a zero slot among non-zeros
+		if n == 1 {
+			weights[0] = 1
+		}
+		for _, w := range weights {
+			sum += w
+		}
+		prob := make([]float64, n)
+		aliasIx := make([]int32, n)
+		stack := make([]int32, n)
+		if err := BuildInto(prob, aliasIx, weights, stack); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		marginal := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if prob[i] < 0 || prob[i] > 1+1e-9 {
+				t.Fatalf("n=%d slot %d: prob %v outside [0,1]", n, i, prob[i])
+			}
+			marginal[i] += prob[i] / float64(n)
+			marginal[aliasIx[i]] += (1 - prob[i]) / float64(n)
+		}
+		for i := 0; i < n; i++ {
+			want := weights[i] / sum
+			if diff := marginal[i] - want; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("n=%d slot %d: marginal %v, want %v", n, i, marginal[i], want)
+			}
+		}
+	}
+}
+
+func TestBuildIntoRejectsBadInput(t *testing.T) {
+	buf := func(n int) ([]float64, []int32, []int32) {
+		return make([]float64, n), make([]int32, n), make([]int32, n)
+	}
+	p, a, s := buf(0)
+	if err := BuildInto(p, a, nil, s); err == nil {
+		t.Fatal("empty weights accepted")
+	}
+	p, a, s = buf(2)
+	if err := BuildInto(p, a, []float64{1, -1}, s); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := BuildInto(p, a, []float64{0, 0}, s); err == nil {
+		t.Fatal("all-zero weights accepted")
+	}
+	if err := BuildInto(p[:1], a, []float64{1, 2}, s); err == nil {
+		t.Fatal("short prob buffer accepted")
+	}
+}
+
+// The empirical distribution of BuildInto-backed sampling must follow the
+// weights (the engine samples straight off these arrays).
+func TestBuildIntoDistribution(t *testing.T) {
+	weights := []float64{1, 3, 6}
+	n := len(weights)
+	prob := make([]float64, n)
+	aliasIx := make([]int32, n)
+	if err := BuildInto(prob, aliasIx, weights, make([]int32, n)); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(22)
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[SampleFrom(prob, aliasIx, r)]++
+	}
+	for i, w := range weights {
+		want := w / 10
+		got := float64(counts[i]) / draws
+		if got < want-0.02 || got > want+0.02 {
+			t.Fatalf("slot %d: frequency %.3f, want %.3f", i, got, want)
+		}
+	}
+}

@@ -124,7 +124,12 @@ func meanTree(t *ad.Tape, m *gnnModel, tree *sampling.Tree, aggW *nn.Linear) *ad
 // samplerUQ wires a sampler + mean aggregation into a request-side
 // embedding: the shape shared by the four sampler baselines.
 func samplerUQ(m *gnnModel, s sampling.Sampler, aggW *nn.Linear, focalFromContent bool) func(*ad.Tape, graph.NodeID, graph.NodeID, *rng.RNG) *ad.Node {
+	// One scratch per model: models run strictly sequentially (training
+	// and eval are single-goroutine), and the walk samplers' slice-backed
+	// visit counters are only cheap when the scratch is reused.
+	sc := sampling.NewScratch()
 	return func(t *ad.Tape, u, q graph.NodeID, r *rng.RNG) *ad.Node {
+		sc.Reset()
 		var focal tensor.Vec
 		if focalFromContent {
 			focal = tensor.NewVec(m.g.ContentDim())
@@ -135,8 +140,8 @@ func samplerUQ(m *gnnModel, s sampling.Sampler, aggW *nn.Linear, focalFromConten
 				tensor.Axpy(1, c, focal)
 			}
 		}
-		treeU := sampling.BuildTree(m.g, u, focal, m.cfg.Hops, m.cfg.FanOut, s, r)
-		treeQ := sampling.BuildTree(m.g, q, focal, m.cfg.Hops, m.cfg.FanOut, s, r)
+		treeU := sampling.BuildTree(m.g, u, focal, m.cfg.Hops, m.cfg.FanOut, s, r, sc)
+		treeQ := sampling.BuildTree(m.g, q, focal, m.cfg.Hops, m.cfg.FanOut, s, r, sc)
 		hu := meanTree(t, m, treeU, aggW)
 		hq := meanTree(t, m, treeQ, aggW)
 		return m.towerUQ.Forward(t, t.ConcatCols(hu, hq))

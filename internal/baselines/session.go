@@ -71,8 +71,8 @@ func NewHAN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model 
 
 	s := sampling.Uniform{}
 	m.uqFn = func(t *ad.Tape, u, q graph.NodeID, r *rng.RNG) *ad.Node {
-		treeU := sampling.BuildTree(g, u, nil, cfg.Hops, cfg.FanOut, s, r)
-		treeQ := sampling.BuildTree(g, q, nil, cfg.Hops, cfg.FanOut, s, r)
+		treeU := sampling.BuildTree(g, u, nil, cfg.Hops, cfg.FanOut, s, r, nil)
+		treeQ := sampling.BuildTree(g, q, nil, cfg.Hops, cfg.FanOut, s, r, nil)
 		return m.towerUQ.Forward(t, t.ConcatCols(embed(t, treeU), embed(t, treeQ)))
 	}
 	return m
@@ -105,7 +105,7 @@ func NewGCEGNN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Mod
 		return t.Add(self, t.MeanRows(t.ConcatRows(kept...)))
 	}
 	embed := func(t *ad.Tape, id graph.NodeID, r *rng.RNG) *ad.Node {
-		tree := sampling.BuildTree(g, id, nil, 1, 2*cfg.FanOut, s, r)
+		tree := sampling.BuildTree(g, id, nil, 1, 2*cfg.FanOut, s, r, nil)
 		local := channel(t, tree, func(e graph.EdgeType) bool { return e != graph.Similarity })
 		global := channel(t, tree, func(graph.EdgeType) bool { return true })
 		return t.ReLU(fuse.Forward(t, t.ConcatCols(local, global)))
@@ -132,7 +132,7 @@ func NewFGNN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model
 	const decay = 0.7
 	embed := func(t *ad.Tape, id graph.NodeID, r *rng.RNG) *ad.Node {
 		self := m.nodeEmb(t, id)
-		tree := sampling.BuildTree(g, id, nil, 1, cfg.FanOut, s, r)
+		tree := sampling.BuildTree(g, id, nil, 1, cfg.FanOut, s, r, nil)
 		if len(tree.Children) == 0 {
 			return self
 		}
@@ -230,7 +230,7 @@ func NewMCCF(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model
 	s := sampling.Uniform{}
 	embed := func(t *ad.Tape, id graph.NodeID, r *rng.RNG) *ad.Node {
 		self := m.nodeEmb(t, id)
-		tree := sampling.BuildTree(g, id, nil, 1, cfg.FanOut, s, r)
+		tree := sampling.BuildTree(g, id, nil, 1, cfg.FanOut, s, r, nil)
 		if len(tree.Children) == 0 {
 			return self
 		}

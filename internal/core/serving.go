@@ -16,6 +16,13 @@ type ServingLayer struct {
 // Apply computes the layer output for a single row vector.
 func (l ServingLayer) Apply(x tensor.Vec) tensor.Vec {
 	out := tensor.NewVec(l.W.Cols)
+	l.ApplyInto(x, out)
+	return out
+}
+
+// ApplyInto computes the layer output into out (length l.W.Cols), which
+// must not alias x. It performs no allocation — the serving hot path.
+func (l ServingLayer) ApplyInto(x, out tensor.Vec) {
 	tensor.MatVecT(l.W, x, out)
 	tensor.Axpy(1, l.B, out)
 	if l.ReLU {
@@ -25,7 +32,6 @@ func (l ServingLayer) Apply(x tensor.Vec) tensor.Vec {
 			}
 		}
 	}
-	return out
 }
 
 // ApplyMLP chains exported layers.
@@ -34,6 +40,38 @@ func ApplyMLP(layers []ServingLayer, x tensor.Vec) tensor.Vec {
 		x = l.Apply(x)
 	}
 	return x
+}
+
+// MaxLayerWidth returns the widest output dimension across the given
+// layers; sizing a ping/pong buffer pair to it lets ApplyMLPInto run any
+// of the exported towers without allocating.
+func MaxLayerWidth(layerSets ...[]ServingLayer) int {
+	w := 0
+	for _, layers := range layerSets {
+		for _, l := range layers {
+			if l.W.Cols > w {
+				w = l.W.Cols
+			}
+		}
+	}
+	return w
+}
+
+// ApplyMLPInto chains exported layers through the caller's ping/pong
+// buffers (each with capacity >= MaxLayerWidth of the chain) and returns
+// a slice of one of them — zero allocations. x must alias neither buffer.
+func ApplyMLPInto(layers []ServingLayer, x, ping, pong tensor.Vec) tensor.Vec {
+	cur := x
+	for i, l := range layers {
+		buf := ping
+		if i%2 == 1 {
+			buf = pong
+		}
+		out := buf[:l.W.Cols]
+		l.ApplyInto(cur, out)
+		cur = out
+	}
+	return cur
 }
 
 // ServingWeights is the frozen model state the online module needs. Per

@@ -243,23 +243,28 @@ func (z *Zoomer) itemBase(t *ad.Tape, item graph.NodeID) *ad.Node {
 }
 
 // uqForward runs the user and query towers for one request and returns
-// the combined user-query vector.
-func (z *Zoomer) uqForward(t *ad.Tape, u, q graph.NodeID, r *rng.RNG) *ad.Node {
+// the combined user-query vector. sc backs the ROI construction; it is
+// reset here, so trees from the previous request must no longer be in
+// use.
+func (z *Zoomer) uqForward(t *ad.Tape, u, q graph.NodeID, r *rng.RNG, sc *sampling.Scratch) *ad.Node {
 	C := z.focalVector(t, u, q)
 	fc := z.samplingFocal(u, q)
-	treeU := sampling.BuildTree(z.g, u, fc, z.cfg.Hops, z.cfg.FanOut, z.sampler, r)
-	treeQ := sampling.BuildTree(z.g, q, fc, z.cfg.Hops, z.cfg.FanOut, z.sampler, r)
+	sc.Reset()
+	treeU := sampling.BuildTree(z.g, u, fc, z.cfg.Hops, z.cfg.FanOut, z.sampler, r, sc)
+	treeQ := sampling.BuildTree(z.g, q, fc, z.cfg.Hops, z.cfg.FanOut, z.sampler, r, sc)
 	hu := z.embedTree(t, treeU, C, z.attnUser.Node(t))
 	hq := z.embedTree(t, treeQ, C, z.attnQuery.Node(t))
 	return z.towerUQ.Forward(t, t.ConcatCols(hu, hq))
 }
 
 // Logits implements Model: per-example twin-tower cosine scores scaled
-// into logits.
+// into logits. One sampling scratch serves the whole batch, so ROI
+// construction allocates only on the first examples.
 func (z *Zoomer) Logits(t *ad.Tape, batch []Instance, r *rng.RNG) *ad.Node {
+	sc := sampling.NewScratch()
 	rows := make([]*ad.Node, len(batch))
 	for i, ex := range batch {
-		uq := z.uqForward(t, ex.User, ex.Query, r)
+		uq := z.uqForward(t, ex.User, ex.Query, r, sc)
 		it := z.itemBase(t, ex.Item)
 		rows[i] = t.Scale(z.cfg.LogitScale, t.CosineSim(uq, it))
 	}
@@ -269,7 +274,7 @@ func (z *Zoomer) Logits(t *ad.Tape, batch []Instance, r *rng.RNG) *ad.Node {
 // UserQueryEmbedding implements Model (inference path: forward only).
 func (z *Zoomer) UserQueryEmbedding(u, q graph.NodeID, r *rng.RNG) tensor.Vec {
 	t := ad.NewTape()
-	out := z.uqForward(t, u, q, r)
+	out := z.uqForward(t, u, q, r, sampling.NewScratch())
 	return tensor.Copy(out.Val.Row(0))
 }
 

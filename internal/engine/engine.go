@@ -4,15 +4,21 @@
 // per-adjacency alias tables giving constant-time weighted neighbor
 // sampling independent of degree.
 //
+// All alias tables are precomputed once at New into a single flat pair of
+// arrays aligned with the graph's CSR edge array, so the sampling hot
+// path is lock-free and allocation-free: replicas keep only atomic load
+// counters, and SampleNeighborsInto writes into a caller-owned buffer.
+// Construction is parallelized across shards by a worker pool.
+//
 // In the paper the shards live on separate servers; here each replica is
-// an independently locked region served in-process, so concurrency
-// effects (contention, replica load spreading) are real while the network
-// is not. Request counting per replica exposes the load-balance behavior
-// the experiments check.
+// an independently counted region served in-process, so load-spreading
+// effects are real while the network is not. Request counting per replica
+// exposes the load-balance behavior the experiments check.
 package engine
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -36,6 +42,15 @@ type Engine struct {
 	g        *graph.Graph
 	shards   []*shard
 	replicas int
+
+	// Flat alias tables, one slot per CSR edge: node id's table occupies
+	// prob/alias[offsets[id]:offsets[id+1]], with alias indices local to
+	// the adjacency. Immutable after New, shared by every replica, read
+	// without locks.
+	offsets []int32
+	prob    []float64
+	alias   []int32
+	tables  int // adjacencies with a table (degree > 0)
 }
 
 type shard struct {
@@ -43,17 +58,16 @@ type shard struct {
 	rr       atomic.Uint32 // round-robin replica cursor
 }
 
-// replica holds a lazily built alias-table cache for its shard's nodes.
-// Each replica has independent locking, so adding replicas adds real
-// concurrent sampling capacity.
+// replica carries only its load counter: the tables it serves are the
+// engine-wide immutable arrays, so adding replicas adds sampling capacity
+// without duplicating state or taking locks.
 type replica struct {
-	mu       sync.Mutex
-	tables   map[graph.NodeID]*alias.Table
 	requests atomic.Int64
 }
 
-// New builds an engine over g. It panics on non-positive shard or replica
-// counts.
+// New builds an engine over g, precomputing every adjacency's alias table
+// into the shared flat arrays with one construction worker per shard (up
+// to GOMAXPROCS). It panics on non-positive shard or replica counts.
 func New(g *graph.Graph, cfg Config) *Engine {
 	if cfg.Shards <= 0 || cfg.Replicas <= 0 {
 		panic(fmt.Sprintf("engine: invalid config %+v", cfg))
@@ -63,11 +77,80 @@ func New(g *graph.Graph, cfg Config) *Engine {
 	for i := range e.shards {
 		s := &shard{replicas: make([]*replica, cfg.Replicas)}
 		for j := range s.replicas {
-			s.replicas[j] = &replica{tables: make(map[graph.NodeID]*alias.Table)}
+			s.replicas[j] = &replica{}
 		}
 		e.shards[i] = s
 	}
+	e.buildTables(cfg.Shards)
 	return e
+}
+
+// buildTables precomputes the flat alias arrays. Nodes are split into
+// contiguous blocks (one per shard, capped by GOMAXPROCS) and built
+// concurrently; each worker reuses its own weight/stack scratch across
+// its nodes.
+func (e *Engine) buildTables(shards int) {
+	g := e.g
+	n := g.NumNodes()
+	e.offsets = g.Offsets()
+	e.prob = make([]float64, g.NumEdges())
+	e.alias = make([]int32, g.NumEdges())
+
+	workers := shards
+	if p := runtime.GOMAXPROCS(0); workers > p {
+		workers = p
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var tables atomic.Int64
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var weights []float64
+			var stack []int32
+			built := int64(0)
+			for id := lo; id < hi; id++ {
+				elo, ehi := e.offsets[id], e.offsets[id+1]
+				deg := int(ehi - elo)
+				if deg == 0 {
+					continue
+				}
+				if cap(weights) < deg {
+					weights = make([]float64, deg)
+					stack = make([]int32, deg)
+				}
+				weights = weights[:deg]
+				stack = stack[:deg]
+				for i, edge := range g.Edges()[elo:ehi] {
+					weights[i] = float64(edge.Weight)
+				}
+				if err := alias.BuildInto(e.prob[elo:ehi], e.alias[elo:ehi], weights, stack); err != nil {
+					// Degenerate weights (all zero, or invalid values in a
+					// graph that bypassed Builder validation): degrade this
+					// adjacency to uniform rather than fail the engine.
+					for i := range weights {
+						weights[i] = 1
+					}
+					alias.MustBuildInto(e.prob[elo:ehi], e.alias[elo:ehi], weights, stack)
+				}
+				built++
+			}
+			tables.Add(built)
+		}(lo, hi)
+	}
+	wg.Wait()
+	e.tables = int(tables.Load())
 }
 
 // Graph returns the underlying immutable graph.
@@ -96,41 +179,38 @@ func (e *Engine) Content(id graph.NodeID) tensor.Vec { return e.g.Content(id) }
 func (e *Engine) Features(id graph.NodeID) []int32 { return e.g.Features(id) }
 
 // SampleNeighbors draws k neighbors of id with replacement, weighted by
-// edge weight, in O(1) per draw via the replica's alias table (built on
-// first touch). An isolated node yields nil.
+// edge weight, in O(1) per draw via the precomputed flat alias table. An
+// isolated node yields nil. The path takes no locks; the only shared
+// writes are the replica load counter and round-robin cursor.
 func (e *Engine) SampleNeighbors(id graph.NodeID, k int, r *rng.RNG) []graph.NodeID {
-	nbrs := e.g.Neighbors(id)
-	if len(nbrs) == 0 {
+	if k <= 0 || e.offsets[id] == e.offsets[id+1] {
 		return nil
+	}
+	out := make([]graph.NodeID, k)
+	e.SampleNeighborsInto(id, out, r)
+	return out
+}
+
+// SampleNeighborsInto fills out with weighted neighbor draws of id (with
+// replacement) and returns the number written: len(out), or 0 for an
+// isolated node. It performs no heap allocation — the steady-state
+// serving path.
+func (e *Engine) SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) int {
+	lo, hi := e.offsets[id], e.offsets[id+1]
+	deg := int(hi - lo)
+	if deg == 0 || len(out) == 0 {
+		return 0
 	}
 	rep := e.shardOf(id).pick()
 	rep.requests.Add(1)
 
-	rep.mu.Lock()
-	tab, ok := rep.tables[id]
-	if !ok {
-		weights := make([]float64, len(nbrs))
-		for i, edge := range nbrs {
-			weights[i] = float64(edge.Weight)
-		}
-		var err error
-		tab, err = alias.New(weights)
-		if err != nil {
-			// All-zero weights: degrade to uniform.
-			for i := range weights {
-				weights[i] = 1
-			}
-			tab = alias.MustNew(weights)
-		}
-		rep.tables[id] = tab
-	}
-	rep.mu.Unlock()
-
-	out := make([]graph.NodeID, k)
+	edges := e.g.Edges()
+	prob := e.prob[lo:hi]
+	aliasIdx := e.alias[lo:hi]
 	for i := range out {
-		out[i] = nbrs[tab.Sample(r)].To
+		out[i] = edges[int(lo)+alias.SampleFrom(prob, aliasIdx, r)].To
 	}
-	return out
+	return len(out)
 }
 
 // Stats reports per-replica request counts, flattened shard-major.
@@ -140,15 +220,13 @@ type Stats struct {
 	CachedTables     int
 }
 
-// Stats snapshots load counters.
+// Stats snapshots load counters. CachedTables counts the precomputed
+// per-adjacency tables (every node with degree > 0).
 func (e *Engine) Stats() Stats {
-	st := Stats{Shards: len(e.shards), Replicas: e.replicas}
+	st := Stats{Shards: len(e.shards), Replicas: e.replicas, CachedTables: e.tables}
 	for _, s := range e.shards {
 		for _, rep := range s.replicas {
 			st.RequestsPerRep = append(st.RequestsPerRep, rep.requests.Load())
-			rep.mu.Lock()
-			st.CachedTables += len(rep.tables)
-			rep.mu.Unlock()
 		}
 	}
 	return st

@@ -177,3 +177,119 @@ func BenchmarkSampleNeighborsParallel(b *testing.B) {
 		}
 	})
 }
+
+// SampleNeighborsInto must fill the caller's buffer without allocating
+// and agree with the adjacency.
+func TestSampleNeighborsInto(t *testing.T) {
+	e := buildEngine(t)
+	g := e.Graph()
+	r := rng.New(20)
+	buf := make([]graph.NodeID, 6)
+	for id := 0; id < g.NumNodes(); id += 11 {
+		nid := graph.NodeID(id)
+		nbrSet := map[graph.NodeID]bool{}
+		for _, edge := range g.Neighbors(nid) {
+			nbrSet[edge.To] = true
+		}
+		n := e.SampleNeighborsInto(nid, buf, r)
+		if len(nbrSet) == 0 {
+			if n != 0 {
+				t.Fatalf("isolated node %d wrote %d samples", id, n)
+			}
+			continue
+		}
+		if n != len(buf) {
+			t.Fatalf("node %d: wrote %d, want %d", id, n, len(buf))
+		}
+		for _, to := range buf[:n] {
+			if !nbrSet[to] {
+				t.Fatalf("node %d sampled non-neighbor %d", id, to)
+			}
+		}
+	}
+}
+
+// An adjacency whose weights are all zero must degrade to uniform
+// sampling rather than fail table construction.
+func TestZeroWeightAdjacencyDegradesToUniform(t *testing.T) {
+	b := graph.NewBuilder()
+	ego := b.AddNode(graph.User, nil, nil)
+	a := b.AddNode(graph.Item, nil, nil)
+	c := b.AddNode(graph.Item, nil, nil)
+	b.AddEdge(ego, a, graph.Click, 0)
+	b.AddEdge(ego, c, graph.Click, 0)
+	e := New(b.Build(), Config{Shards: 1, Replicas: 1})
+	r := rng.New(21)
+	counts := map[graph.NodeID]int{}
+	for i := 0; i < 4000; i++ {
+		counts[e.SampleNeighbors(ego, 1, r)[0]]++
+	}
+	for _, id := range []graph.NodeID{a, c} {
+		frac := float64(counts[id]) / 4000
+		if frac < 0.4 || frac > 0.6 {
+			t.Fatalf("zero-weight neighbor %d sampled at %.3f, want ~0.5", id, frac)
+		}
+	}
+}
+
+// The precomputed tables are shared and read lock-free; hammer them from
+// many goroutines (meaningful under -race) while checking counter
+// consistency.
+func TestLockFreeTablesUnderConcurrency(t *testing.T) {
+	e := buildEngine(t)
+	g := e.Graph()
+	const workers, iters = 16, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			buf := make([]graph.NodeID, 4)
+			for i := 0; i < iters; i++ {
+				id := graph.NodeID(r.Intn(g.NumNodes()))
+				n := e.SampleNeighborsInto(id, buf, r)
+				for _, to := range buf[:n] {
+					if int(to) >= g.NumNodes() {
+						t.Errorf("out-of-range sample %d", to)
+						return
+					}
+				}
+			}
+		}(uint64(w + 30))
+	}
+	wg.Wait()
+	st := e.Stats()
+	var total int64
+	for _, c := range st.RequestsPerRep {
+		total += c
+	}
+	// Every non-isolated draw bumps exactly one replica counter.
+	if total > workers*iters {
+		t.Fatalf("request counters overcounted: %d > %d", total, workers*iters)
+	}
+	if st.CachedTables == 0 {
+		t.Fatal("no precomputed tables")
+	}
+}
+
+// k <= 0 must yield nil, not a panic (regression: make with negative k).
+func TestSampleNeighborsNonPositiveK(t *testing.T) {
+	e := buildEngine(t)
+	r := rng.New(22)
+	var id graph.NodeID
+	for i := 0; i < e.Graph().NumNodes(); i++ {
+		if e.Graph().Degree(graph.NodeID(i)) > 0 {
+			id = graph.NodeID(i)
+			break
+		}
+	}
+	for _, k := range []int{0, -1, -42} {
+		if out := e.SampleNeighbors(id, k, r); out != nil {
+			t.Fatalf("k=%d returned %v, want nil", k, out)
+		}
+	}
+	if n := e.SampleNeighborsInto(id, nil, r); n != 0 {
+		t.Fatalf("empty buffer wrote %d", n)
+	}
+}

@@ -8,6 +8,12 @@
 // All samplers answer the same question: given an ego node, an optional
 // focal vector, and a budget k, which neighbors enter the sampled
 // subgraph? Multi-hop ROI construction is layered on top by BuildTree.
+//
+// Every sampler threads a *Scratch (see scratch.go) through its hot path;
+// with a non-nil scratch the steady state allocates nothing, and with nil
+// it falls back to per-call allocation. Top-k selection is a bounded
+// min-heap (O(d log k)) rather than a full sort, and the walk samplers
+// count visits in a slice indexed by node id rather than a map.
 package sampling
 
 import (
@@ -20,11 +26,13 @@ import (
 )
 
 // Sampler selects up to k neighbors of ego. focal is the summed focal
-// vector of the request (nil for focal-agnostic samplers). Implementations
-// must not retain the returned slice.
+// vector of the request (nil for focal-agnostic samplers). sc supplies
+// reusable buffers (nil allowed); when non-nil, the returned slice is
+// backed by it and is valid only until the sampler's next call with the
+// same scratch — callers that retain edges must copy them.
 type Sampler interface {
 	Name() string
-	Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG) []graph.Edge
+	Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge
 }
 
 // RelevanceFunc scores a neighbor's content against the focal vector.
@@ -38,50 +46,54 @@ func TanimotoRelevance(focal, nbr tensor.Vec) float32 { return tensor.Tanimoto(f
 func CosineRelevance(focal, nbr tensor.Vec) float32 { return tensor.Cosine(focal, nbr) }
 
 // FocalBiased is Zoomer's sampler: it scores every neighbor's content
-// vector against the focal vector with Relevance (eq. 5 by default) and
-// keeps the top-k, deterministically preserving the neighbors most
-// relevant to the request's focal interest.
+// vector against the focal vector and keeps the top-k, deterministically
+// preserving the neighbors most relevant to the request's focal interest.
+// A nil Relevance selects the paper's eq. (5) score through a fused
+// kernel that hoists the focal norm out of the neighbor loop.
 type FocalBiased struct {
 	Relevance RelevanceFunc
 }
 
 // NewFocalBiased returns the sampler with the paper's eq. (5) relevance.
-func NewFocalBiased() *FocalBiased { return &FocalBiased{Relevance: TanimotoRelevance} }
+func NewFocalBiased() *FocalBiased { return &FocalBiased{} }
 
 // Name implements Sampler.
 func (s *FocalBiased) Name() string { return "focal-biased" }
 
 // Sample implements Sampler. With a nil focal it degrades to weight-ranked
 // selection (relevance indistinguishable), keeping behavior total.
-func (s *FocalBiased) Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG) []graph.Edge {
+func (s *FocalBiased) Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+	if k <= 0 {
+		return nil
+	}
 	nbrs := g.Neighbors(ego)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	sc = sc.orNew()
 	if len(nbrs) <= k {
-		return append([]graph.Edge(nil), nbrs...)
+		return append(sc.outBuf(len(nbrs)), nbrs...)
 	}
-	type scored struct {
-		e     graph.Edge
-		score float32
-	}
-	ss := make([]scored, len(nbrs))
-	for i, e := range nbrs {
-		var sc float32
-		if focal != nil {
-			sc = s.Relevance(focal, g.Content(e.To))
-		} else {
-			sc = e.Weight
+	ss := sc.scoredBuf(len(nbrs))
+	switch {
+	case focal == nil:
+		for i, e := range nbrs {
+			ss[i] = scoredEdge{e, e.Weight}
 		}
-		ss[i] = scored{e, sc}
-	}
-	// Partial selection of the k best by score (ties by weight).
-	sort.Slice(ss, func(i, j int) bool {
-		if ss[i].score != ss[j].score {
-			return ss[i].score > ss[j].score
+	case s.Relevance == nil:
+		fsq := tensor.SqNorm(focal)
+		for i, e := range nbrs {
+			ss[i] = scoredEdge{e, tensor.TanimotoWithSqNorm(focal, fsq, g.Content(e.To))}
 		}
-		return ss[i].e.Weight > ss[j].e.Weight
-	})
-	out := make([]graph.Edge, k)
+	default:
+		for i, e := range nbrs {
+			ss[i] = scoredEdge{e, s.Relevance(focal, g.Content(e.To))}
+		}
+	}
+	topKScored(ss, k)
+	out := sc.outBuf(k)
 	for i := 0; i < k; i++ {
-		out[i] = ss[i].e
+		out = append(out, ss[i].e)
 	}
 	return out
 }
@@ -94,21 +106,28 @@ type Uniform struct{}
 func (Uniform) Name() string { return "uniform" }
 
 // Sample implements Sampler.
-func (Uniform) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG) []graph.Edge {
+func (Uniform) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+	if k <= 0 {
+		return nil
+	}
 	nbrs := g.Neighbors(ego)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	sc = sc.orNew()
 	if len(nbrs) <= k {
-		return append([]graph.Edge(nil), nbrs...)
+		return append(sc.outBuf(len(nbrs)), nbrs...)
 	}
 	// Partial Fisher-Yates over an index view.
-	idx := make([]int, len(nbrs))
+	idx := sc.idxBuf(len(nbrs))
 	for i := range idx {
-		idx[i] = i
+		idx[i] = int32(i)
 	}
-	out := make([]graph.Edge, k)
+	out := sc.outBuf(k)
 	for i := 0; i < k; i++ {
 		j := i + r.Intn(len(idx)-i)
 		idx[i], idx[j] = idx[j], idx[i]
-		out[i] = nbrs[idx[i]]
+		out = append(out, nbrs[idx[i]])
 	}
 	return out
 }
@@ -123,23 +142,29 @@ type Weighted struct{}
 func (Weighted) Name() string { return "weighted" }
 
 // Sample implements Sampler.
-func (Weighted) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG) []graph.Edge {
-	nbrs := g.Neighbors(ego)
-	if len(nbrs) <= k {
-		return append([]graph.Edge(nil), nbrs...)
+func (Weighted) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+	if k <= 0 {
+		return nil
 	}
-	weights := make([]float64, len(nbrs))
+	nbrs := g.Neighbors(ego)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	sc = sc.orNew()
+	if len(nbrs) <= k {
+		return append(sc.outBuf(len(nbrs)), nbrs...)
+	}
+	weights, prob, aliasIx, stack := sc.aliasBufs(len(nbrs))
 	for i, e := range nbrs {
 		weights[i] = float64(e.Weight)
 	}
-	tab, err := alias.New(weights)
-	if err != nil {
-		return Uniform{}.Sample(g, ego, nil, k, r)
+	if err := alias.BuildInto(prob, aliasIx, weights, stack); err != nil {
+		return Uniform{}.Sample(g, ego, nil, k, r, sc)
 	}
-	seen := make(map[int]bool, k)
-	out := make([]graph.Edge, 0, k)
+	seen := sc.seenBuf(len(nbrs))
+	out := sc.outBuf(k)
 	for tries := 0; len(out) < k && tries < 4*k; tries++ {
-		i := tab.Sample(r)
+		i := alias.SampleFrom(prob, aliasIx, r)
 		if !seen[i] {
 			seen[i] = true
 			out = append(out, nbrs[i])
@@ -161,13 +186,58 @@ func NewImportanceWalk() *ImportanceWalk { return &ImportanceWalk{Walks: 30, Len
 // Name implements Sampler.
 func (s *ImportanceWalk) Name() string { return "importance-walk" }
 
-// Sample implements Sampler.
-func (s *ImportanceWalk) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG) []graph.Edge {
-	nbrs := g.Neighbors(ego)
-	if len(nbrs) <= k {
-		return append([]graph.Edge(nil), nbrs...)
+// visitCounter counts walk visits: slice-backed (O(1), zero-alloc at
+// steady state) when a reused scratch is available, and a small sparse
+// map for the nil-scratch path — a throwaway scratch must not pay an
+// O(NumNodes) zeroed allocation for a walk touching ~Walks×Length nodes.
+type visitCounter struct {
+	sc     *Scratch
+	sparse map[graph.NodeID]int32
+}
+
+func newVisitCounter(sc *Scratch, g *graph.Graph, walkBudget int) visitCounter {
+	if sc != nil {
+		sc.visitsFor(g.NumNodes())
+		return visitCounter{sc: sc}
 	}
-	visits := make(map[graph.NodeID]int)
+	return visitCounter{sparse: make(map[graph.NodeID]int32, walkBudget)}
+}
+
+func (v visitCounter) bump(id graph.NodeID) {
+	if v.sc != nil {
+		v.sc.visit(id)
+		return
+	}
+	v.sparse[id]++
+}
+
+func (v visitCounter) count(id graph.NodeID) int32 {
+	if v.sc != nil {
+		return v.sc.visits[id]
+	}
+	return v.sparse[id]
+}
+
+func (v visitCounter) done() {
+	if v.sc != nil {
+		v.sc.resetVisits()
+	}
+}
+
+// Sample implements Sampler.
+func (s *ImportanceWalk) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+	if k <= 0 {
+		return nil
+	}
+	nbrs := g.Neighbors(ego)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	out := sc.orNew()
+	if len(nbrs) <= k {
+		return append(out.outBuf(len(nbrs)), nbrs...)
+	}
+	visits := newVisitCounter(sc, g, s.Walks*s.Length)
 	for w := 0; w < s.Walks; w++ {
 		cur := ego
 		for step := 0; step < s.Length; step++ {
@@ -176,28 +246,20 @@ func (s *ImportanceWalk) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, 
 				break
 			}
 			cur = cn[r.Intn(len(cn))].To
-			visits[cur]++
+			visits.bump(cur)
 		}
 	}
-	type scored struct {
-		e graph.Edge
-		v int
-	}
-	ss := make([]scored, len(nbrs))
+	ss := out.scoredBuf(len(nbrs))
 	for i, e := range nbrs {
-		ss[i] = scored{e, visits[e.To]}
+		ss[i] = scoredEdge{e, float32(visits.count(e.To))}
 	}
-	sort.Slice(ss, func(i, j int) bool {
-		if ss[i].v != ss[j].v {
-			return ss[i].v > ss[j].v
-		}
-		return ss[i].e.Weight > ss[j].e.Weight
-	})
-	out := make([]graph.Edge, k)
+	visits.done()
+	topKScored(ss, k)
+	res := out.outBuf(k)
 	for i := 0; i < k; i++ {
-		out[i] = ss[i].e
+		res = append(res, ss[i].e)
 	}
-	return out
+	return res
 }
 
 // BiasedWalk is Pixie's sampler: random walks whose edge choices are
@@ -215,12 +277,19 @@ func NewBiasedWalk() *BiasedWalk { return &BiasedWalk{Walks: 30, Length: 4, Bias
 func (s *BiasedWalk) Name() string { return "biased-walk" }
 
 // Sample implements Sampler.
-func (s *BiasedWalk) Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG) []graph.Edge {
-	nbrs := g.Neighbors(ego)
-	if len(nbrs) <= k {
-		return append([]graph.Edge(nil), nbrs...)
+func (s *BiasedWalk) Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+	if k <= 0 {
+		return nil
 	}
-	visits := make(map[graph.NodeID]int)
+	nbrs := g.Neighbors(ego)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	out := sc.orNew()
+	if len(nbrs) <= k {
+		return append(out.outBuf(len(nbrs)), nbrs...)
+	}
+	visits := newVisitCounter(sc, g, s.Walks*s.Length)
 	for w := 0; w < s.Walks; w++ {
 		cur := ego
 		steps := 1 + r.Intn(s.Length) // early stopping
@@ -240,28 +309,20 @@ func (s *BiasedWalk) Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, 
 				}
 			}
 			cur = pick.To
-			visits[cur]++
+			visits.bump(cur)
 		}
 	}
-	type scored struct {
-		e graph.Edge
-		v int
-	}
-	ss := make([]scored, len(nbrs))
+	ss := out.scoredBuf(len(nbrs))
 	for i, e := range nbrs {
-		ss[i] = scored{e, visits[e.To]}
+		ss[i] = scoredEdge{e, float32(visits.count(e.To))}
 	}
-	sort.Slice(ss, func(i, j int) bool {
-		if ss[i].v != ss[j].v {
-			return ss[i].v > ss[j].v
-		}
-		return ss[i].e.Weight > ss[j].e.Weight
-	})
-	out := make([]graph.Edge, k)
+	visits.done()
+	topKScored(ss, k)
+	res := out.outBuf(k)
 	for i := 0; i < k; i++ {
-		out[i] = ss[i].e
+		res = append(res, ss[i].e)
 	}
-	return out
+	return res
 }
 
 // ClusterImportance is PinnerSage's sampler: neighbors are greedily
@@ -279,11 +340,21 @@ func NewClusterImportance() *ClusterImportance { return &ClusterImportance{SimTh
 // Name implements Sampler.
 func (s *ClusterImportance) Name() string { return "cluster-importance" }
 
-// Sample implements Sampler.
-func (s *ClusterImportance) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG) []graph.Edge {
+// Sample implements Sampler. Clustering is inherently allocation-heavy
+// (centroids are materialized per call); this sampler is an offline
+// baseline, not a serving-path component, so it only borrows the
+// scratch's output buffer.
+func (s *ClusterImportance) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+	if k <= 0 {
+		return nil
+	}
 	nbrs := g.Neighbors(ego)
+	if len(nbrs) == 0 {
+		return nil
+	}
+	sc = sc.orNew()
 	if len(nbrs) <= k {
-		return append([]graph.Edge(nil), nbrs...)
+		return append(sc.outBuf(len(nbrs)), nbrs...)
 	}
 	type cluster struct {
 		centroid tensor.Vec
@@ -324,7 +395,7 @@ func (s *ClusterImportance) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Ve
 	for _, cl := range clusters {
 		sort.Slice(cl.members, func(i, j int) bool { return cl.members[i].Weight > cl.members[j].Weight })
 	}
-	out := make([]graph.Edge, 0, k)
+	out := sc.outBuf(k)
 	for round := 0; len(out) < k; round++ {
 		advanced := false
 		for _, cl := range clusters {
@@ -365,15 +436,26 @@ func (t *Tree) Size() int {
 // per-hop budget k. Focal biasing (when the sampler uses it) applies at
 // every hop, matching the paper's ROI construction where relevance to the
 // focal governs the whole sampled region.
-func BuildTree(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, hops, k int, s Sampler, r *rng.RNG) *Tree {
-	t := &Tree{Node: ego}
+//
+// With a non-nil scratch the tree is carved out of the scratch's arena:
+// steady-state construction allocates nothing, and the tree stays valid
+// until sc.Reset(). With nil sc the tree is independently heap-allocated.
+func BuildTree(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, hops, k int, s Sampler, r *rng.RNG, sc *Scratch) *Tree {
+	sc = sc.orNew()
+	return buildTree(g, ego, focal, hops, k, s, r, sc)
+}
+
+func buildTree(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, hops, k int, s Sampler, r *rng.RNG, sc *Scratch) *Tree {
+	t := sc.newTree(ego)
 	if hops == 0 {
 		return t
 	}
-	t.Edges = s.Sample(g, ego, focal, k, r)
-	t.Children = make([]*Tree, len(t.Edges))
+	// The sampler's result lives in scratch buffers that the recursive
+	// calls below will clobber; move it into the arena first.
+	t.Edges = sc.cloneEdges(s.Sample(g, ego, focal, k, r, sc))
+	t.Children = sc.kidSlice(len(t.Edges))
 	for i, e := range t.Edges {
-		t.Children[i] = BuildTree(g, e.To, focal, hops-1, k, s, r)
+		t.Children[i] = buildTree(g, e.To, focal, hops-1, k, s, r, sc)
 	}
 	return t
 }

@@ -1,0 +1,238 @@
+package sampling
+
+import (
+	"zoomer/internal/graph"
+)
+
+// scoredEdge pairs an adjacency edge with its selection score. Walk
+// samplers store visit counts in the score (float32 is exact for counts
+// below 2^24, far beyond any walk budget).
+type scoredEdge struct {
+	e     graph.Edge
+	score float32
+}
+
+// Scratch holds every reusable buffer the samplers and BuildTree need, so
+// steady-state ROI construction performs no heap allocation: scoring and
+// selection buffers, slice-backed visit counters for the walk samplers,
+// alias-construction workspace, and an arena for the sampled trees.
+//
+// A Scratch is not safe for concurrent use; give each worker its own,
+// exactly like *rng.RNG. Slices returned by Sample are backed by the
+// Scratch and remain valid only until its next Sample call; trees
+// returned by BuildTree are backed by the arena and remain valid until
+// Reset. A nil *Scratch is accepted everywhere and falls back to
+// per-call allocation.
+type Scratch struct {
+	scored []scoredEdge
+	out    []graph.Edge
+	idx    []int32
+	seen   []bool
+
+	// Slice-backed visit counters (len = graph.NumNodes()). Entries are
+	// zero between calls; touched lists the ids to reset.
+	visits  []int32
+	touched []graph.NodeID
+
+	// Weighted-sampler alias workspace.
+	weights []float64
+	prob    []float64
+	aliasIx []int32
+	stack   []int32
+
+	// Tree arena: node pool plus edge and child backing storage, recycled
+	// by Reset.
+	trees     []*Tree
+	treesUsed int
+	edgeArena []graph.Edge
+	kidArena  []*Tree
+}
+
+// NewScratch returns an empty scratch; buffers are grown on first use and
+// reused afterwards.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// orNew substitutes a throwaway scratch for a nil receiver, giving the
+// no-scratch call path the exact allocation behavior it always had.
+func (sc *Scratch) orNew() *Scratch {
+	if sc == nil {
+		return &Scratch{}
+	}
+	return sc
+}
+
+// Reset recycles the tree arena. All trees previously returned from
+// BuildTree with this scratch are invalidated; per-sampler buffers need
+// no reset and are excluded.
+func (sc *Scratch) Reset() {
+	if sc == nil {
+		return
+	}
+	sc.treesUsed = 0
+	sc.edgeArena = sc.edgeArena[:0]
+	sc.kidArena = sc.kidArena[:0]
+}
+
+func (sc *Scratch) scoredBuf(n int) []scoredEdge {
+	if cap(sc.scored) < n {
+		sc.scored = make([]scoredEdge, n)
+	}
+	sc.scored = sc.scored[:n]
+	return sc.scored
+}
+
+func (sc *Scratch) outBuf(n int) []graph.Edge {
+	if cap(sc.out) < n {
+		sc.out = make([]graph.Edge, 0, n)
+	}
+	return sc.out[:0]
+}
+
+func (sc *Scratch) idxBuf(n int) []int32 {
+	if cap(sc.idx) < n {
+		sc.idx = make([]int32, n)
+	}
+	sc.idx = sc.idx[:n]
+	return sc.idx
+}
+
+func (sc *Scratch) seenBuf(n int) []bool {
+	if cap(sc.seen) < n {
+		sc.seen = make([]bool, n)
+	}
+	s := sc.seen[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// visitsFor returns the zeroed visit-counter slice for an n-node graph.
+// Callers must bump counters via visit and reset them with resetVisits
+// before returning.
+func (sc *Scratch) visitsFor(n int) []int32 {
+	if cap(sc.visits) < n {
+		sc.visits = make([]int32, n)
+	}
+	sc.visits = sc.visits[:n]
+	sc.touched = sc.touched[:0]
+	return sc.visits
+}
+
+func (sc *Scratch) visit(id graph.NodeID) {
+	if sc.visits[id] == 0 {
+		sc.touched = append(sc.touched, id)
+	}
+	sc.visits[id]++
+}
+
+func (sc *Scratch) resetVisits() {
+	for _, id := range sc.touched {
+		sc.visits[id] = 0
+	}
+	sc.touched = sc.touched[:0]
+}
+
+func (sc *Scratch) aliasBufs(n int) (weights, prob []float64, aliasIx, stack []int32) {
+	if cap(sc.weights) < n {
+		sc.weights = make([]float64, n)
+		sc.prob = make([]float64, n)
+		sc.aliasIx = make([]int32, n)
+		sc.stack = make([]int32, n)
+	}
+	return sc.weights[:n], sc.prob[:n], sc.aliasIx[:n], sc.stack[:n]
+}
+
+// newTree hands out a pooled tree node. Pointers stay valid across pool
+// growth; Reset recycles them.
+func (sc *Scratch) newTree(id graph.NodeID) *Tree {
+	if sc.treesUsed < len(sc.trees) {
+		t := sc.trees[sc.treesUsed]
+		sc.treesUsed++
+		*t = Tree{Node: id}
+		return t
+	}
+	t := &Tree{Node: id}
+	sc.trees = append(sc.trees, t)
+	sc.treesUsed++
+	return t
+}
+
+// cloneEdges copies a sampler's scratch-backed result into the arena so
+// the next Sample call cannot clobber it. The returned slice is capped,
+// so appends by callers cannot bleed into later arena regions.
+func (sc *Scratch) cloneEdges(es []graph.Edge) []graph.Edge {
+	if len(es) == 0 {
+		return nil
+	}
+	n := len(sc.edgeArena)
+	sc.edgeArena = append(sc.edgeArena, es...)
+	return sc.edgeArena[n : n+len(es) : n+len(es)]
+}
+
+// kidSlice carves a child-pointer slice out of the arena.
+func (sc *Scratch) kidSlice(n int) []*Tree {
+	if n == 0 {
+		return nil
+	}
+	m := len(sc.kidArena)
+	for i := 0; i < n; i++ {
+		sc.kidArena = append(sc.kidArena, nil)
+	}
+	return sc.kidArena[m : m+n : m+n]
+}
+
+// topKScored partially selects the k highest-scoring entries of ss into
+// ss[:k], best first (ties broken by edge weight), in O(len(ss)·log k): a
+// bounded min-heap over the current best k replaces the full sort.Slice
+// the samplers used to pay for.
+func topKScored(ss []scoredEdge, k int) {
+	if k >= len(ss) {
+		k = len(ss)
+	}
+	if k <= 0 {
+		return
+	}
+	h := ss[:k]
+	for i := k/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+	for i := k; i < len(ss); i++ {
+		if scoredLess(h[0], ss[i]) {
+			h[0] = ss[i]
+			siftDown(h, 0)
+		}
+	}
+	// Heap-sort the winners: popping the min to the back leaves ss[:k]
+	// ordered best first.
+	for n := k - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		siftDown(h[:n], 0)
+	}
+}
+
+// scoredLess reports whether a ranks strictly below b.
+func scoredLess(a, b scoredEdge) bool {
+	if a.score != b.score {
+		return a.score < b.score
+	}
+	return a.e.Weight < b.e.Weight
+}
+
+func siftDown(h []scoredEdge, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && scoredLess(h[r], h[l]) {
+			m = r
+		}
+		if !scoredLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}

@@ -5,6 +5,12 @@
 // fully asynchronous refresh, and retrieves items from the two-layer
 // inverted index. A load generator measures response time against offered
 // QPS — the Fig. 9 experiment.
+//
+// The hot path is engineered for contention- and allocation-freedom: the
+// neighbor cache is split into independently locked segments (hashed by
+// node id) each with its own refresh queue and refresher goroutine, and
+// every server worker owns an EmbedScratch so request embedding performs
+// zero heap allocations at steady state.
 package serve
 
 import (
@@ -31,47 +37,96 @@ type Embedder struct {
 // NewEmbedder wraps exported weights.
 func NewEmbedder(sw *core.ServingWeights) *Embedder { return &Embedder{sw: sw} }
 
-// aggregate applies the trimmed (edge-level only) attention over the
-// cached neighbor set: softmax over LeakyReLU(a·[zf ‖ zj ‖ C]).
-func (e *Embedder) aggregate(ego graph.NodeID, nbrs []graph.NodeID, C tensor.Vec, a tensor.Vec) tensor.Vec {
+// EmbedScratch holds the per-worker buffers of the request-embedding hot
+// path: attention scores, focal and aggregate vectors, the tower input,
+// and the MLP ping/pong pair. Not safe for concurrent use — one per
+// worker, like *rng.RNG.
+type EmbedScratch struct {
+	c, tmp, hu, hq tensor.Vec
+	cat            tensor.Vec
+	scores         tensor.Vec
+	ping, pong     tensor.Vec
+}
+
+// NewScratch sizes a scratch for this embedder's weights.
+func (e *Embedder) NewScratch() *EmbedScratch {
+	d := e.sw.Dim
+	w := core.MaxLayerWidth(e.sw.TowerUQ, e.sw.TowerItem)
+	if w < d {
+		w = d
+	}
+	return &EmbedScratch{
+		c:      tensor.NewVec(d),
+		tmp:    tensor.NewVec(d),
+		hu:     tensor.NewVec(d),
+		hq:     tensor.NewVec(d),
+		cat:    tensor.NewVec(2 * d),
+		scores: make(tensor.Vec, 0, 64),
+		ping:   tensor.NewVec(w),
+		pong:   tensor.NewVec(w),
+	}
+}
+
+func (sc *EmbedScratch) scoreBuf(n int) tensor.Vec {
+	if cap(sc.scores) < n {
+		sc.scores = make(tensor.Vec, n)
+	}
+	sc.scores = sc.scores[:n]
+	return sc.scores
+}
+
+// aggregateInto applies the trimmed (edge-level only) attention over the
+// cached neighbor set into dst (length Dim): softmax over
+// LeakyReLU(a·[zf ‖ zj ‖ C]) with a residual to zf. The concatenation is
+// never materialized — a·[zf ‖ zj ‖ C] = zf·a₁ + zj·a₂ + C·a₃, and the
+// zf and C partial dots are hoisted out of the neighbor loop. Seeding the
+// residual shares zf's traversal with its partial dot via the fused
+// DotAxpy kernel.
+func (e *Embedder) aggregateInto(dst tensor.Vec, ego graph.NodeID, nbrs []graph.NodeID, C tensor.Vec, a tensor.Vec, sc *EmbedScratch) {
 	sw := e.sw
 	zf := sw.Base[ego]
-	if len(nbrs) == 0 {
-		return tensor.Copy(zf)
-	}
 	d := sw.Dim
-	scores := make(tensor.Vec, len(nbrs))
-	cat := make(tensor.Vec, 3*d)
-	copy(cat[:d], zf)
-	copy(cat[2*d:], C)
+	for i := range dst {
+		dst[i] = 0
+	}
+	base := tensor.DotAxpy(1, zf, a[:d], dst) // dst = zf, base = zf·a₁
+	if len(nbrs) == 0 {
+		return
+	}
+	base += tensor.Dot(C, a[2*d:])
+	a2 := a[d : 2*d]
+	scores := sc.scoreBuf(len(nbrs))
 	for i, nb := range nbrs {
-		copy(cat[d:2*d], sw.Base[nb])
-		s := tensor.Dot(cat, a)
+		s := base + tensor.Dot(sw.Base[nb], a2)
 		if s < 0 {
 			s *= 0.2 // LeakyReLU
 		}
 		scores[i] = s
 	}
 	tensor.Softmax(scores, scores)
-	out := tensor.Copy(zf) // residual
 	for i, nb := range nbrs {
-		tensor.Axpy(scores[i], sw.Base[nb], out)
+		tensor.Axpy(scores[i], sw.Base[nb], dst)
 	}
-	return out
 }
 
 // UserQuery embeds a request given cached neighbor sets for the user and
-// query nodes.
-func (e *Embedder) UserQuery(u, q graph.NodeID, nbrsU, nbrsQ []graph.NodeID) tensor.Vec {
+// query nodes. With a non-nil scratch the returned vector is backed by it
+// and valid until the next call — zero allocations; with nil a throwaway
+// scratch is used and the result is independently owned.
+func (e *Embedder) UserQuery(u, q graph.NodeID, nbrsU, nbrsQ []graph.NodeID, sc *EmbedScratch) tensor.Vec {
+	if sc == nil {
+		sc = e.NewScratch()
+	}
 	sw := e.sw
-	C := sw.MapUser.Apply(sw.Base[u])
-	tensor.Axpy(1, sw.MapQuery.Apply(sw.Base[q]), C)
-	hu := e.aggregate(u, nbrsU, C, sw.AttnUser)
-	hq := e.aggregate(q, nbrsQ, C, sw.AttnQuery)
-	cat := make(tensor.Vec, 0, 2*sw.Dim)
-	cat = append(cat, hu...)
-	cat = append(cat, hq...)
-	return core.ApplyMLP(sw.TowerUQ, cat)
+	d := sw.Dim
+	sw.MapUser.ApplyInto(sw.Base[u], sc.c)
+	sw.MapQuery.ApplyInto(sw.Base[q], sc.tmp)
+	tensor.Axpy(1, sc.tmp, sc.c)
+	e.aggregateInto(sc.hu, u, nbrsU, sc.c, sw.AttnUser, sc)
+	e.aggregateInto(sc.hq, q, nbrsQ, sc.c, sw.AttnQuery, sc)
+	copy(sc.cat[:d], sc.hu)
+	copy(sc.cat[d:], sc.hq)
+	return core.ApplyMLPInto(sw.TowerUQ, sc.cat, sc.ping, sc.pong)
 }
 
 // Item embeds an item through the exported item tower.
@@ -79,82 +134,106 @@ func (e *Embedder) Item(id graph.NodeID) tensor.Vec {
 	return core.ApplyMLP(e.sw.TowerItem, e.sw.Base[id])
 }
 
-// NeighborCache stores the k last-sampled neighbors per node. Hits return
-// immediately and enqueue an asynchronous refresh, decoupling the
-// sampling path from the request path exactly as §VII-E describes
-// ("cache updating is fully asynchronous from users' timely requests").
-type NeighborCache struct {
-	eng *engine.Engine
-	k   int
+// cacheSegments is the number of independently locked cache segments; a
+// power of two so the id hash is a mask. 16 comfortably exceeds typical
+// worker counts, so segment collisions under load are rare.
+const cacheSegments = 16
 
+// cacheSegment is one lock domain of the neighbor cache, with its own
+// refresh queue, refresher goroutine seed, and counters.
+type cacheSegment struct {
 	mu      sync.RWMutex
 	entries map[graph.NodeID][]graph.NodeID
-
 	refresh chan graph.NodeID
-	done    chan struct{}
-	wg      sync.WaitGroup
 
 	hits, misses, refreshes atomic.Int64
 }
 
+// NeighborCache stores the k last-sampled neighbors per node, sharded
+// into independently locked segments by node id. Hits return immediately
+// and enqueue an asynchronous refresh on the segment's own queue,
+// decoupling the sampling path from the request path exactly as §VII-E
+// describes ("cache updating is fully asynchronous from users' timely
+// requests").
+type NeighborCache struct {
+	eng  *engine.Engine
+	k    int
+	segs [cacheSegments]cacheSegment
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
 // NewNeighborCache starts a cache over eng with per-node budget k and one
-// background refresher. Close must be called.
+// background refresher per segment. Close must be called.
 func NewNeighborCache(eng *engine.Engine, k int, seed uint64) *NeighborCache {
-	c := &NeighborCache{
-		eng:     eng,
-		k:       k,
-		entries: make(map[graph.NodeID][]graph.NodeID),
-		refresh: make(chan graph.NodeID, 1024),
-		done:    make(chan struct{}),
-	}
-	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
-		r := rng.New(seed)
-		for {
-			select {
-			case <-c.done:
-				return
-			case id := <-c.refresh:
-				nbrs := c.eng.SampleNeighbors(id, c.k, r)
-				c.mu.Lock()
-				c.entries[id] = nbrs
-				c.mu.Unlock()
-				c.refreshes.Add(1)
+	c := &NeighborCache{eng: eng, k: k, done: make(chan struct{})}
+	for i := range c.segs {
+		seg := &c.segs[i]
+		seg.entries = make(map[graph.NodeID][]graph.NodeID)
+		seg.refresh = make(chan graph.NodeID, 256)
+		c.wg.Add(1)
+		go func(seg *cacheSegment, seed uint64) {
+			defer c.wg.Done()
+			r := rng.New(seed)
+			for {
+				select {
+				case <-c.done:
+					return
+				case id := <-seg.refresh:
+					nbrs := c.eng.SampleNeighbors(id, c.k, r)
+					seg.mu.Lock()
+					seg.entries[id] = nbrs
+					seg.mu.Unlock()
+					seg.refreshes.Add(1)
+				}
 			}
-		}
-	}()
+		}(seg, seed+uint64(i))
+	}
 	return c
 }
 
+func (c *NeighborCache) seg(id graph.NodeID) *cacheSegment {
+	return &c.segs[uint32(id)&(cacheSegments-1)]
+}
+
 // Get returns the cached neighbor set for id, sampling synchronously on
-// a miss. Hits schedule an asynchronous refresh (best effort).
+// a miss. Hits schedule an asynchronous refresh (best effort). Only the
+// id's own segment is locked, so requests for different segments never
+// contend.
 func (c *NeighborCache) Get(id graph.NodeID, r *rng.RNG) []graph.NodeID {
-	c.mu.RLock()
-	nbrs, ok := c.entries[id]
-	c.mu.RUnlock()
+	seg := c.seg(id)
+	seg.mu.RLock()
+	nbrs, ok := seg.entries[id]
+	seg.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		seg.hits.Add(1)
 		select {
-		case c.refresh <- id:
+		case seg.refresh <- id:
 		default: // refresher busy; skip
 		}
 		return nbrs
 	}
-	c.misses.Add(1)
+	seg.misses.Add(1)
 	nbrs = c.eng.SampleNeighbors(id, c.k, r)
-	c.mu.Lock()
-	c.entries[id] = nbrs
-	c.mu.Unlock()
+	seg.mu.Lock()
+	seg.entries[id] = nbrs
+	seg.mu.Unlock()
 	return nbrs
 }
 
-// Stats reports cache counters.
+// Stats sums cache counters across segments.
 func (c *NeighborCache) Stats() (hits, misses, refreshes int64) {
-	return c.hits.Load(), c.misses.Load(), c.refreshes.Load()
+	for i := range c.segs {
+		seg := &c.segs[i]
+		hits += seg.hits.Load()
+		misses += seg.misses.Load()
+		refreshes += seg.refreshes.Load()
+	}
+	return hits, misses, refreshes
 }
 
-// Close stops the refresher.
+// Close stops the refreshers.
 func (c *NeighborCache) Close() {
 	close(c.done)
 	c.wg.Wait()
@@ -227,10 +306,11 @@ func NewServer(emb *Embedder, cache *NeighborCache, index *ann.Index, cfg Config
 func (s *Server) worker(seed uint64) {
 	defer s.wg.Done()
 	r := rng.New(seed)
+	sc := s.emb.NewScratch()
 	for req := range s.queue {
 		nbrsU := s.cache.Get(req.user, r)
 		nbrsQ := s.cache.Get(req.query, r)
-		uq := s.emb.UserQuery(req.user, req.query, nbrsU, nbrsQ)
+		uq := s.emb.UserQuery(req.user, req.query, nbrsU, nbrsQ, sc)
 		items := s.index.Search(uq, s.cfg.TopK, s.cfg.NProbe)
 		s.served.Add(1)
 		req.resp <- Response{Items: items, Latency: time.Since(req.enqueued)}
@@ -264,8 +344,11 @@ type LoadStats struct {
 
 // LoadTest offers an open-loop request stream at qps for the duration and
 // reports latency statistics. Requests are (user, query) pairs drawn from
-// the provided pools.
+// the provided pools. Served and Dropped are deltas over this run —
+// counters are snapshotted at the start — so consecutive sweep points do
+// not double-count earlier runs.
 func LoadTest(s *Server, users, queries []graph.NodeID, qps float64, d time.Duration, seed uint64) LoadStats {
+	served0, dropped0 := s.served.Load(), s.dropped.Load()
 	r := rng.New(seed)
 	interval := time.Duration(float64(time.Second) / qps)
 	deadline := time.Now().Add(d)
@@ -303,7 +386,11 @@ func LoadTest(s *Server, users, queries []graph.NodeID, qps float64, d time.Dura
 		}
 	}
 done:
-	st := LoadStats{OfferedQPS: qps, Served: s.served.Load(), Dropped: s.dropped.Load()}
+	st := LoadStats{
+		OfferedQPS: qps,
+		Served:     s.served.Load() - served0,
+		Dropped:    s.dropped.Load() - dropped0,
+	}
 	if len(lats) == 0 {
 		return st
 	}

@@ -17,15 +17,50 @@ type Vec = []float32
 func NewVec(n int) Vec { return make(Vec, n) }
 
 // Dot returns the inner product of a and b. It panics if lengths differ.
+// The loop is unrolled 4-wide with independent float64 accumulator lanes,
+// which breaks the add dependency chain without giving up the float64
+// accumulation the rest of the package guarantees.
 func Dot(a, b Vec) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i := range a {
-		s += float64(a[i]) * float64(b[i])
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += float64(a[i]) * float64(b[i])
+		s1 += float64(a[i+1]) * float64(b[i+1])
+		s2 += float64(a[i+2]) * float64(b[i+2])
+		s3 += float64(a[i+3]) * float64(b[i+3])
 	}
-	return float32(s)
+	for ; i < len(a); i++ {
+		s0 += float64(a[i]) * float64(b[i])
+	}
+	return float32((s0 + s1) + (s2 + s3))
+}
+
+// DotSq returns (a·b, b·b) in a single pass over b. The focal-biased
+// sampler's Tanimoto scoring needs both the cross product and the
+// neighbor's squared norm per neighbor; fusing them halves memory traffic
+// on the scoring hot path.
+func DotSq(a, b Vec) (dot, bsq float32) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: DotSq length mismatch %d vs %d", len(a), len(b)))
+	}
+	var d0, d1, q0, q1 float64
+	i := 0
+	for ; i+2 <= len(a); i += 2 {
+		x0, x1 := float64(b[i]), float64(b[i+1])
+		d0 += float64(a[i]) * x0
+		d1 += float64(a[i+1]) * x1
+		q0 += x0 * x0
+		q1 += x1 * x1
+	}
+	for ; i < len(a); i++ {
+		x := float64(b[i])
+		d0 += float64(a[i]) * x
+		q0 += x * x
+	}
+	return float32(d0 + d1), float32(q0 + q1)
 }
 
 // Axpy computes y += alpha*x in place. It panics if lengths differ.
@@ -33,9 +68,40 @@ func Axpy(alpha float32, x, y Vec) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
 		y[i] += alpha * x[i]
 	}
+}
+
+// DotAxpy fuses y += alpha*x with the inner product x·w in one traversal
+// of x: the serving aggregate both scores a neighbor embedding against an
+// attention vector and accumulates it into the output, and fusing keeps x
+// cache-resident across the two uses. It panics if lengths differ.
+func DotAxpy(alpha float32, x, w, y Vec) float32 {
+	if len(x) != len(w) || len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: DotAxpy length mismatch %d/%d/%d", len(x), len(w), len(y)))
+	}
+	var s0, s1 float64
+	i := 0
+	for ; i+2 <= len(x); i += 2 {
+		x0, x1 := x[i], x[i+1]
+		s0 += float64(x0) * float64(w[i])
+		s1 += float64(x1) * float64(w[i+1])
+		y[i] += alpha * x0
+		y[i+1] += alpha * x1
+	}
+	for ; i < len(x); i++ {
+		s0 += float64(x[i]) * float64(w[i])
+		y[i] += alpha * x[i]
+	}
+	return float32(s0 + s1)
 }
 
 // Scale multiplies x by alpha in place.
@@ -135,8 +201,21 @@ func Cosine(a, b Vec) float32 {
 // denominator is not positive (both vectors zero, or pathological float
 // cancellation) it returns 0.
 func Tanimoto(a, b Vec) float32 {
-	d := Dot(a, b)
-	den := SqNorm(a) + SqNorm(b) - d
+	d, bsq := DotSq(a, b)
+	den := SqNorm(a) + bsq - d
+	if den <= 0 {
+		return 0
+	}
+	return d / den
+}
+
+// TanimotoWithSqNorm is Tanimoto with the first argument's squared norm
+// precomputed. The focal-biased sampler scores one fixed focal vector
+// against every neighbor, so |a|² is loop-invariant and the per-neighbor
+// cost drops to a single fused pass over the neighbor's content vector.
+func TanimotoWithSqNorm(a Vec, asq float32, b Vec) float32 {
+	d, bsq := DotSq(a, b)
+	den := asq + bsq - d
 	if den <= 0 {
 		return 0
 	}

@@ -341,3 +341,58 @@ func TestGemmAccAgainstMatMul(t *testing.T) {
 		}
 	}
 }
+
+func TestDotSqMatchesSeparate(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 33} {
+		a, b := make(Vec, n), make(Vec, n)
+		for i := 0; i < n; i++ {
+			a[i] = float32(i%5) - 2
+			b[i] = float32(i%3) + 0.5
+		}
+		d, bsq := DotSq(a, b)
+		if wd := Dot(a, b); absf(d-wd) > 1e-5 {
+			t.Fatalf("n=%d: DotSq dot %v vs Dot %v", n, d, wd)
+		}
+		if wq := SqNorm(b); absf(bsq-wq) > 1e-5 {
+			t.Fatalf("n=%d: DotSq sqnorm %v vs SqNorm %v", n, bsq, wq)
+		}
+	}
+}
+
+func TestDotAxpyFusesBothResults(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 16, 31} {
+		x, w, y := make(Vec, n), make(Vec, n), make(Vec, n)
+		for i := 0; i < n; i++ {
+			x[i] = float32(i) - 1.5
+			w[i] = float32(i%4) * 0.25
+			y[i] = float32(i % 7)
+		}
+		wantDot := Dot(x, w)
+		wantY := Copy(y)
+		Axpy(0.75, x, wantY)
+		got := DotAxpy(0.75, x, w, y)
+		if absf(got-wantDot) > 1e-5 {
+			t.Fatalf("n=%d: dot %v, want %v", n, got, wantDot)
+		}
+		for i := range y {
+			if absf(y[i]-wantY[i]) > 1e-5 {
+				t.Fatalf("n=%d: y[%d]=%v, want %v", n, i, y[i], wantY[i])
+			}
+		}
+	}
+}
+
+func TestTanimotoWithSqNormMatches(t *testing.T) {
+	a := Vec{1, 0.5, -0.25, 2}
+	b := Vec{0.5, 1, 0.75, -1}
+	if got, want := TanimotoWithSqNorm(a, SqNorm(a), b), Tanimoto(a, b); absf(got-want) > 1e-6 {
+		t.Fatalf("TanimotoWithSqNorm %v vs Tanimoto %v", got, want)
+	}
+}
+
+func absf(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
