@@ -1,6 +1,6 @@
 # Tier-1 verification and perf tooling for the Zoomer reproduction.
 
-.PHONY: verify test race bench
+.PHONY: verify test race bench bench-compare
 
 # The tier-1 loop: vet + build + test.
 verify:
@@ -11,10 +11,15 @@ verify:
 test:
 	go test ./...
 
-# Race-exercise the concurrent serving stack.
+# Race-exercise the concurrent serving stack (scatter-gather included).
 race:
-	go test -race ./internal/engine/... ./internal/serve/... ./internal/sampling/...
+	go test -race ./internal/engine/... ./internal/serve/... ./internal/sampling/... ./internal/partition/...
 
 # Hot-path benchmarks -> BENCH_hotpath.json (perf trajectory across PRs).
 bench:
 	./bench.sh
+
+# Re-run the suite and fail on >20% ns/op regression (or any new
+# allocation) in the BenchmarkHotPath* benches vs the committed JSON.
+bench-compare:
+	./bench_compare.sh

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_compare.sh — re-run the benchmark suite and fail if any hot-path
+# bench (BenchmarkHotPath*) regresses more than 20% in ns/op against the
+# committed BENCH_hotpath.json, or stops being allocation-free.
+#
+# Usage: ./bench_compare.sh [baseline.json]   (env THRESH=1.20 to tune)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+BASE="${1:-BENCH_hotpath.json}"
+THRESH="${THRESH:-1.20}"
+if [ ! -f "$BASE" ]; then
+    echo "error: baseline $BASE not found (run ./bench.sh first)" >&2
+    exit 1
+fi
+command -v python3 >/dev/null || { echo "error: python3 required" >&2; exit 1; }
+
+NOW="$(mktemp /tmp/bench_now.XXXXXX.json)"
+trap 'rm -f "$NOW"' EXIT
+./bench.sh "$NOW"
+
+python3 - "$BASE" "$NOW" "$THRESH" <<'PY'
+import json, sys
+
+base_path, now_path, thresh = sys.argv[1], sys.argv[2], float(sys.argv[3])
+with open(base_path) as f:
+    base = json.load(f)["benchmarks"]
+with open(now_path) as f:
+    now = json.load(f)["benchmarks"]
+
+failed = False
+print(f"{'hot-path bench':44s} {'baseline':>10s} {'now':>10s}  verdict")
+for name in sorted(n for n in now if n.startswith("BenchmarkHotPath")):
+    cur = now[name]
+    old = base.get(name)
+    if old is None:
+        print(f"{name:44s} {'-':>10s} {cur['ns_op']:>10}  new (no baseline)")
+        continue
+    ratio = cur["ns_op"] / old["ns_op"]
+    verdict = f"{ratio:.2f}x ok"
+    if ratio > thresh:
+        verdict = f"{ratio:.2f}x REGRESSION (> {thresh:.2f}x)"
+        failed = True
+    if cur.get("allocs_op"):
+        verdict += f" + ALLOCATES ({cur['allocs_op']} allocs/op)"
+        failed = True
+    print(f"{name:44s} {old['ns_op']:>10} {cur['ns_op']:>10}  {verdict}")
+
+missing = [n for n in base if n.startswith("BenchmarkHotPath") and n not in now]
+for name in missing:
+    print(f"{name:44s} dropped from the suite  REGRESSION")
+    failed = True
+
+sys.exit(1 if failed else 0)
+PY

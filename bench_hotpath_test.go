@@ -3,6 +3,7 @@ package main_test
 import (
 	"testing"
 
+	"zoomer/internal/ann"
 	"zoomer/internal/core"
 	"zoomer/internal/engine"
 	"zoomer/internal/graph"
@@ -11,6 +12,7 @@ import (
 	"zoomer/internal/rng"
 	"zoomer/internal/sampling"
 	"zoomer/internal/serve"
+	"zoomer/internal/tensor"
 )
 
 // hotPathWorld stands up the serving stack the BenchmarkHotPath* family
@@ -124,5 +126,68 @@ func BenchmarkHotPathUserQuery(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = w.emb.UserQuery(w.user, w.query, w.nbrsU, w.nbrsQ, sc)
+	}
+}
+
+// BenchmarkHotPathSampleBatch measures the scatter-gather batch sampler
+// (one shard visit per shard per batch): the cache-refresh steady state.
+// Must report 0 allocs/op.
+func BenchmarkHotPathSampleBatch(b *testing.B) {
+	w := buildHotPathWorld(b)
+	r := rng.New(4)
+	const batch, k = 64, 10
+	ids := make([]graph.NodeID, batch)
+	for i := range ids {
+		ids[i] = graph.NodeID(r.Intn(w.g.NumNodes()))
+	}
+	out := make([]graph.NodeID, batch*k)
+	ns := make([]int32, batch)
+	bs := engine.NewBatchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.eng.SampleNeighborsBatchInto(ids, k, out, ns, r, bs)
+	}
+}
+
+// BenchmarkHotPathSampleTree measures engine-native multi-hop expansion
+// (one batch per frontier level) off the batch scratch. Must report
+// 0 allocs/op.
+func BenchmarkHotPathSampleTree(b *testing.B) {
+	w := buildHotPathWorld(b)
+	r := rng.New(5)
+	var ego graph.NodeID
+	for id := 0; id < w.g.NumNodes(); id++ {
+		if w.g.Degree(graph.NodeID(id)) >= 20 {
+			ego = graph.NodeID(id)
+			break
+		}
+	}
+	bs := engine.NewBatchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.eng.SampleTree(ego, 2, 10, r, bs)
+	}
+}
+
+// BenchmarkHotPathSearchInto measures the zero-allocation ANN probe with
+// a per-worker scratch over the serving index. Must report 0 allocs/op.
+func BenchmarkHotPathSearchInto(b *testing.B) {
+	w := buildHotPathWorld(b)
+	items := w.g.NodesOfType(graph.Item)
+	ids := make([]int64, len(items))
+	vecs := make([]tensor.Vec, len(items))
+	for i, it := range items {
+		ids[i] = int64(it)
+		vecs[i] = w.emb.Item(it)
+	}
+	index := ann.Build(ids, vecs, ann.Config{NumLists: 16, Iters: 4, Seed: 6})
+	sc := index.NewSearchScratch()
+	q := w.emb.UserQuery(w.user, w.query, w.nbrsU, w.nbrsQ, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = index.SearchInto(q, 100, 4, sc)
 	}
 }

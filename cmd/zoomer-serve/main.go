@@ -21,6 +21,7 @@ import (
 	"zoomer/internal/graph"
 	"zoomer/internal/graphbuild"
 	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
 	"zoomer/internal/serve"
 	"zoomer/internal/tensor"
 )
@@ -31,9 +32,18 @@ func main() {
 	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per point")
 	workers := flag.Int("workers", 4, "serving workers")
 	cacheK := flag.Int("cachek", 30, "cached neighbors per node")
+	shards := flag.Int("shards", 4, "graph engine partitions (capacity axis)")
+	replicas := flag.Int("replicas", 2, "replicas per shard (throughput axis)")
+	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
 	trainSteps := flag.Int("train", 100, "warm-up training steps before export")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
+
+	strat, err := partition.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	scales := map[string]loggen.Scale{
 		"tiny": loggen.ScaleTiny, "small": loggen.ScaleSmall,
@@ -69,7 +79,10 @@ func main() {
 
 	fmt.Println("exporting serving weights and building index...")
 	emb := serve.NewEmbedder(model.ExportServing())
-	eng := engine.New(g, engine.DefaultConfig())
+	eng := engine.New(g, engine.Config{Shards: *shards, Replicas: *replicas, Strategy: strat})
+	st := eng.Stats()
+	fmt.Printf("engine: %d shards x %d replicas (%s partitioning), nodes/shard %v, edges/shard %v\n",
+		st.Shards, st.Replicas, strat, st.NodesPerShard, st.EdgesPerShard)
 	cache := serve.NewNeighborCache(eng, *cacheK, *seed+3)
 	defer cache.Close()
 
@@ -97,13 +110,23 @@ func main() {
 	// Cache warm-up.
 	serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, *seed+5)
 
-	fmt.Printf("%-10s %-14s %-14s %-10s %-10s\n", "QPS", "mean RT (ms)", "p99 RT (ms)", "served", "dropped")
+	fmt.Printf("%-10s %-14s %-14s %-10s %-10s %s\n", "QPS", "mean RT (ms)", "p99 RT (ms)", "served", "dropped", "shard load")
+	prev := eng.Stats().RequestsPerShard
 	for i, q := range qps {
 		st := serve.LoadTest(srv, users, queries, q, *duration, *seed+6+uint64(i))
-		fmt.Printf("%-10.0f %-14.3f %-14.3f %-10d %-10d\n",
+		es := eng.Stats()
+		loads := make([]int64, len(es.RequestsPerShard))
+		for s := range loads {
+			loads[s] = es.RequestsPerShard[s] - prev[s]
+		}
+		prev = es.RequestsPerShard
+		fmt.Printf("%-10.0f %-14.3f %-14.3f %-10d %-10d %v\n",
 			q, float64(st.MeanRT.Microseconds())/1000, float64(st.P99.Microseconds())/1000,
-			st.Served, st.Dropped)
+			st.Served, st.Dropped, loads)
 	}
 	hits, misses, refreshes := cache.Stats()
 	fmt.Printf("cache: %d hits / %d misses / %d async refreshes\n", hits, misses, refreshes)
+	final := eng.Stats()
+	fmt.Printf("engine: per-shard requests %v (max/mean imbalance %.2f), per-replica %v\n",
+		final.RequestsPerShard, final.Imbalance, final.RequestsPerRep)
 }

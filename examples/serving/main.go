@@ -1,10 +1,13 @@
 // Serving: the Fig. 9 scenario in miniature — run the online retrieval
 // service (trimmed model, async neighbor cache, IVF index) under rising
 // offered load and watch response time climb as the worker pool
-// saturates.
+// saturates. The graph sits behind the partitioned engine: -shards /
+// -replicas size the store, and the sweep prints how load spreads over
+// the shards.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -19,6 +22,10 @@ import (
 )
 
 func main() {
+	shards := flag.Int("shards", 4, "graph engine partitions")
+	replicas := flag.Int("replicas", 2, "replicas per shard")
+	flag.Parse()
+
 	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 31))
 	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
 	g := res.Graph
@@ -30,7 +37,10 @@ func main() {
 	// Untrained weights are fine: serving latency is weight-independent.
 
 	emb := serve.NewEmbedder(model.ExportServing())
-	eng := engine.New(g, engine.DefaultConfig())
+	eng := engine.New(g, engine.Config{Shards: *shards, Replicas: *replicas})
+	es := eng.Stats()
+	fmt.Printf("engine: %d shards x %d replicas, nodes/shard %v\n",
+		es.Shards, es.Replicas, es.NodesPerShard)
 	cache := serve.NewNeighborCache(eng, 30, 33)
 	defer cache.Close()
 
@@ -52,11 +62,20 @@ func main() {
 	queries := g.NodesOfType(graph.Query)
 	serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, 35) // warm caches
 
-	fmt.Printf("%-8s  %-12s  %-12s  %s\n", "QPS", "mean RT", "p99 RT", "served")
+	fmt.Printf("%-8s  %-12s  %-12s  %-8s  %s\n", "QPS", "mean RT", "p99 RT", "served", "shard load")
+	prev := eng.Stats().RequestsPerShard
 	for i, qps := range []float64{500, 2000, 8000, 30000} {
 		st := serve.LoadTest(srv, users, queries, qps, 300*time.Millisecond, 36+uint64(i))
-		fmt.Printf("%-8.0f  %-12s  %-12s  %d\n", qps, st.MeanRT, st.P99, st.Served)
+		cur := eng.Stats().RequestsPerShard
+		loads := make([]int64, len(cur))
+		for s := range loads {
+			loads[s] = cur[s] - prev[s]
+		}
+		prev = cur
+		fmt.Printf("%-8.0f  %-12s  %-12s  %-8d  %v\n", qps, st.MeanRT, st.P99, st.Served, loads)
 	}
 	hits, misses, refreshes := cache.Stats()
 	fmt.Printf("cache: %d hits / %d misses / %d async refreshes\n", hits, misses, refreshes)
+	final := eng.Stats()
+	fmt.Printf("engine: per-shard requests %v (imbalance %.2f)\n", final.RequestsPerShard, final.Imbalance)
 }

@@ -9,7 +9,7 @@ package ann
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"zoomer/internal/rng"
 	"zoomer/internal/tensor"
@@ -162,9 +162,45 @@ func (ix *Index) Len() int {
 	return n
 }
 
+// SearchScratch holds the per-worker buffers of the search hot path: the
+// normalized query copy, centroid scores, probe order and the bounded
+// result heap. Not safe for concurrent use — one per worker, like
+// *rng.RNG. Result slices returned by SearchInto are backed by the
+// scratch and valid only until its next use.
+type SearchScratch struct {
+	q       tensor.Vec
+	cscore  []float32
+	corder  []int32
+	results []Result
+}
+
+// NewSearchScratch sizes a scratch for this index.
+func (ix *Index) NewSearchScratch() *SearchScratch {
+	return &SearchScratch{q: make(tensor.Vec, ix.dim)}
+}
+
+func (sc *SearchScratch) centroidBufs(n int) ([]float32, []int32) {
+	if cap(sc.cscore) < n {
+		sc.cscore = make([]float32, n)
+		sc.corder = make([]int32, n)
+	}
+	return sc.cscore[:n], sc.corder[:n]
+}
+
 // Search probes the nprobe closest coarse centroids and returns the topK
-// highest-cosine results among their posting lists, best first.
+// highest-cosine results among their posting lists, best first. The
+// returned slice is independently owned. Serving workers should prefer
+// SearchInto with a per-worker scratch, which allocates nothing.
 func (ix *Index) Search(query tensor.Vec, topK, nprobe int) []Result {
+	return ix.SearchInto(query, topK, nprobe, nil)
+}
+
+// SearchInto is Search with caller-supplied scratch: with a non-nil sc
+// the whole probe — query normalization, centroid ranking, candidate
+// scoring and top-K selection (a bounded min-heap, O(C log K) over C
+// candidates) — performs zero heap allocations, and the returned slice
+// is backed by sc. A nil sc falls back to per-call allocation.
+func (ix *Index) SearchInto(query tensor.Vec, topK, nprobe int, sc *SearchScratch) []Result {
 	if len(query) != ix.dim {
 		panic(fmt.Sprintf("ann: query dim %d, index dim %d", len(query), ix.dim))
 	}
@@ -177,32 +213,88 @@ func (ix *Index) Search(query tensor.Vec, topK, nprobe int) []Result {
 	if nprobe > len(ix.centroids) {
 		nprobe = len(ix.centroids)
 	}
-	q := tensor.Copy(query)
+	if sc == nil {
+		sc = ix.NewSearchScratch()
+	}
+	copy(sc.q, query)
+	q := sc.q
 	tensor.Normalize(q)
 
-	// Rank centroids.
-	type cs struct {
-		c int
-		s float32
-	}
-	order := make([]cs, len(ix.centroids))
+	// Rank centroids: score them all, then partially select the nprobe
+	// best (nprobe passes of max-selection; nprobe is small).
+	cscore, corder := sc.centroidBufs(len(ix.centroids))
 	for c, cent := range ix.centroids {
-		order[c] = cs{c, tensor.Dot(q, cent)}
+		cscore[c] = tensor.Dot(q, cent)
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].s > order[j].s })
-
-	results := make([]Result, 0, topK*2)
 	for p := 0; p < nprobe; p++ {
-		c := order[p].c
+		best := -1
+		bestScore := float32(0)
+		for c, s := range cscore {
+			if best < 0 || s > bestScore {
+				best, bestScore = c, s
+			}
+		}
+		corder[p] = int32(best)
+		cscore[best] = float32(math.Inf(-1))
+	}
+
+	// Scan the probed posting lists through a bounded min-heap of the
+	// best topK candidates.
+	if cap(sc.results) < topK {
+		sc.results = make([]Result, 0, topK)
+	}
+	h := sc.results[:0]
+	for p := 0; p < nprobe; p++ {
+		c := corder[p]
+		idsList := ix.listIDs[c]
 		for i, v := range ix.listVecs[c] {
-			results = append(results, Result{ID: ix.listIDs[c][i], Score: tensor.Dot(q, v)})
+			s := tensor.Dot(q, v)
+			if len(h) < topK {
+				h = append(h, Result{ID: idsList[i], Score: s})
+				siftUpResult(h, len(h)-1)
+			} else if s > h[0].Score {
+				h[0] = Result{ID: idsList[i], Score: s}
+				siftDownResult(h, 0)
+			}
 		}
 	}
-	sort.Slice(results, func(i, j int) bool { return results[i].Score > results[j].Score })
-	if len(results) > topK {
-		results = results[:topK]
+	// Heap-sort the winners best first: popping the min to the back
+	// leaves the slice in descending score order.
+	for n := len(h) - 1; n > 0; n-- {
+		h[0], h[n] = h[n], h[0]
+		siftDownResult(h[:n], 0)
 	}
-	return results
+	sc.results = h
+	return h
+}
+
+func siftUpResult(h []Result, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].Score <= h[i].Score {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDownResult(h []Result, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h[r].Score < h[l].Score {
+			m = r
+		}
+		if h[i].Score <= h[m].Score {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // SearchExact scans every vector — the brute-force reference used to

@@ -148,6 +148,66 @@ func TestMoreListsThanPoints(t *testing.T) {
 	}
 }
 
+// A reused per-worker scratch must reproduce the allocating Search
+// result exactly, across repeated queries.
+func TestSearchIntoScratchParity(t *testing.T) {
+	r := rng.New(12)
+	ids, vecs, _ := clusteredData(r, 800, 16, 8)
+	ix := Build(ids, vecs, Config{NumLists: 12, Iters: 5, Seed: 13})
+	sc := ix.NewSearchScratch()
+	for q := 0; q < 20; q++ {
+		query := vecs[r.Intn(len(vecs))]
+		want := ix.Search(query, 10, 3)
+		got := ix.SearchInto(query, 10, 3, sc)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results vs %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d: %+v vs %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// SearchInto with fewer candidates than topK must return them all,
+// sorted.
+func TestSearchIntoSmallIndex(t *testing.T) {
+	r := rng.New(14)
+	ids, vecs, _ := clusteredData(r, 6, 8, 2)
+	ix := Build(ids, vecs, Config{NumLists: 2, Iters: 3, Seed: 15})
+	sc := ix.NewSearchScratch()
+	res := ix.SearchInto(vecs[0], 20, 2, sc)
+	if len(res) != 6 {
+		t.Fatalf("got %d results, want all 6", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted by score")
+		}
+	}
+	if out := ix.SearchInto(vecs[0], 0, 2, sc); out != nil {
+		t.Fatal("topK=0 should return nil")
+	}
+}
+
+// The serving path requirement: SearchInto with a reused scratch must
+// perform zero heap allocations per request.
+func TestSearchIntoAllocs(t *testing.T) {
+	r := rng.New(16)
+	ids, vecs, _ := clusteredData(r, 2000, 32, 16)
+	ix := Build(ids, vecs, Config{NumLists: 16, Iters: 5, Seed: 17})
+	sc := ix.NewSearchScratch()
+	q := vecs[0]
+	ix.SearchInto(q, 100, 4, sc) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		ix.SearchInto(q, 100, 4, sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("SearchInto allocates %.1f per run, want 0", allocs)
+	}
+}
+
 func BenchmarkSearchNprobe4(b *testing.B) {
 	r := rng.New(1)
 	ids, vecs, _ := clusteredData(r, 10000, 32, 32)
@@ -167,5 +227,20 @@ func BenchmarkSearchExact(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.SearchExact(q, 100)
+	}
+}
+
+// BenchmarkSearchInto measures the zero-allocation serving search with a
+// reused per-worker scratch. Must report 0 allocs/op.
+func BenchmarkSearchInto(b *testing.B) {
+	r := rng.New(1)
+	ids, vecs, _ := clusteredData(r, 10000, 32, 32)
+	ix := Build(ids, vecs, Config{NumLists: 32, Iters: 6, Seed: 2})
+	q := vecs[0]
+	sc := ix.NewSearchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SearchInto(q, 100, 4, sc)
 	}
 }

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+
+	"zoomer/internal/graph"
+	"zoomer/internal/rng"
+)
+
+// BatchScratch holds the reusable buffers of the scatter-gather path: the
+// counting-sort grouping arrays, the derived per-entry RNG, and the
+// SampleTree frontier/output storage. Not safe for concurrent use — one
+// per caller, like *rng.RNG. A nil *BatchScratch is accepted everywhere
+// and falls back to per-call allocation.
+type BatchScratch struct {
+	counts []int32
+	order  []int32
+	sub    rng.RNG // reseeded per batch entry; zero value fine (always reseeded)
+
+	// SampleTree buffers: the flat tree, the current frontier and the
+	// batch-draw output it expands into.
+	tree     []TreeNode
+	frontier []graph.NodeID
+	children []graph.NodeID
+	ns       []int32
+}
+
+// NewBatchScratch returns an empty scratch; buffers are grown on first
+// use and reused afterwards.
+func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
+
+func (bs *BatchScratch) orNew() *BatchScratch {
+	if bs == nil {
+		return &BatchScratch{}
+	}
+	return bs
+}
+
+func (bs *BatchScratch) groupBufs(entries, shards int) (counts, order []int32) {
+	if cap(bs.counts) < shards+1 {
+		bs.counts = make([]int32, shards+1)
+	}
+	bs.counts = bs.counts[:shards+1]
+	for i := range bs.counts {
+		bs.counts[i] = 0
+	}
+	if cap(bs.order) < entries {
+		bs.order = make([]int32, entries)
+	}
+	bs.order = bs.order[:entries]
+	return bs.counts, bs.order
+}
+
+// entrySeed derives the deterministic RNG seed of batch entry i from the
+// batch base. The mapping depends only on (base, i) — not on the entry's
+// owning shard or the order shards are visited in — which is what makes
+// batch results identical across shard counts and partition strategies.
+func entrySeed(base uint64, i int) uint64 {
+	return base + (uint64(i)+1)*0x9e3779b97f4a7c15
+}
+
+// SampleNeighborsBatchInto draws k weighted neighbors (with replacement)
+// for each of ids, writing entry i's draws into out[i*k:(i+1)*k] and the
+// per-entry count (k, or 0 for an isolated node) into ns[i]. It returns
+// the total number of draws written.
+//
+// This is the scatter-gather layer: entries are grouped by owning shard
+// with a counting sort and each shard is visited exactly once — one
+// replica is picked and charged per shard per batch, and in an RPC
+// deployment each visit would be a single round trip. One value is
+// consumed from r as the batch base; every entry then draws from its own
+// derived sub-stream, so results are deterministic given (r state, ids,
+// k) and independent of how the graph is partitioned.
+//
+// out must hold at least len(ids)*k entries and ns at least len(ids);
+// the call panics otherwise. With a non-nil bs the call performs no heap
+// allocation at steady state.
+func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph.NodeID, ns []int32, r *rng.RNG, bs *BatchScratch) int {
+	if k <= 0 {
+		// Zero the counts so callers reading ns see "no draws" rather
+		// than stale values from a previous batch on the same buffers.
+		for i := range ids {
+			ns[i] = 0
+		}
+		return 0
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	if len(out) < len(ids)*k || len(ns) < len(ids) {
+		panic(fmt.Sprintf("engine: batch buffers %d/%d for %d ids × k=%d", len(out), len(ns), len(ids), k))
+	}
+	bs = bs.orNew()
+	base := r.Uint64()
+
+	// Counting sort entry indices by owning shard.
+	counts, order := bs.groupBufs(len(ids), len(e.shards))
+	for _, id := range ids {
+		counts[e.part.Owner(id)+1]++
+	}
+	for s := 1; s < len(counts); s++ {
+		counts[s] += counts[s-1]
+	}
+	for i, id := range ids {
+		sh := e.part.Owner(id)
+		order[counts[sh]] = int32(i)
+		counts[sh]++
+	}
+
+	// One visit per shard: counts[s] is now the end of shard s's group.
+	total := 0
+	start := int32(0)
+	for si, s := range e.shards {
+		end := counts[si]
+		if end == start {
+			continue
+		}
+		group := order[start:end]
+		s.pick().requests.Add(int64(len(group)))
+		for _, i := range group {
+			li := e.part.Local(ids[i])
+			lo, hi := s.store.Offsets[li], s.store.Offsets[li+1]
+			if lo == hi {
+				ns[i] = 0
+				continue
+			}
+			bs.sub.Reseed(entrySeed(base, int(i)))
+			s.sampleLocal(lo, hi, out[int(i)*k:(int(i)+1)*k], &bs.sub)
+			ns[i] = int32(k)
+			total += k
+		}
+		start = end
+	}
+	return total
+}
+
+// TreeNode is one entry of the flat breadth-first expansion SampleTree
+// produces: Nodes[0] is the ego and Parent indexes into the same slice
+// (-1 for the root).
+type TreeNode struct {
+	ID     graph.NodeID
+	Parent int32
+}
+
+// SampleTree expands hops levels of weighted neighbor sampling from ego
+// with per-node budget k — the engine-native multi-hop neighborhood used
+// by serving-side ROI construction. Each level's frontier is issued as
+// one scatter-gather batch, so every shard is visited at most once per
+// level regardless of frontier size.
+//
+// The returned slice is backed by bs (valid until its next SampleTree
+// call) and the expansion is deterministic given (r state, ego, hops, k),
+// independent of shard count and partition strategy. With a non-nil bs
+// steady-state construction performs no heap allocation.
+func (e *Engine) SampleTree(ego graph.NodeID, hops, k int, r *rng.RNG, bs *BatchScratch) []TreeNode {
+	bs = bs.orNew()
+	bs.tree = append(bs.tree[:0], TreeNode{ID: ego, Parent: -1})
+	if k <= 0 {
+		return bs.tree
+	}
+	start, end := 0, 1
+	for h := 0; h < hops && start < end; h++ {
+		bs.frontier = bs.frontier[:0]
+		for i := start; i < end; i++ {
+			bs.frontier = append(bs.frontier, bs.tree[i].ID)
+		}
+		need := len(bs.frontier) * k
+		if cap(bs.children) < need {
+			bs.children = make([]graph.NodeID, need)
+		}
+		bs.children = bs.children[:need]
+		if cap(bs.ns) < len(bs.frontier) {
+			bs.ns = make([]int32, len(bs.frontier))
+		}
+		bs.ns = bs.ns[:len(bs.frontier)]
+		e.SampleNeighborsBatchInto(bs.frontier, k, bs.children, bs.ns, r, bs)
+		for fi := range bs.frontier {
+			parent := int32(start + fi)
+			for j := int32(0); j < bs.ns[fi]; j++ {
+				bs.tree = append(bs.tree, TreeNode{ID: bs.children[fi*k+int(j)], Parent: parent})
+			}
+		}
+		start, end = end, len(bs.tree)
+	}
+	return bs.tree
+}

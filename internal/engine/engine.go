@@ -1,233 +1,219 @@
 // Package engine is the distributed graph engine of §VI (the Euler
-// stand-in): an in-memory graph store partitioned into shards for
-// capacity, with each shard replicated for aggregate read throughput, and
-// per-adjacency alias tables giving constant-time weighted neighbor
-// sampling independent of degree.
+// stand-in): a partitioned, replicated graph store. The graph is split by
+// internal/partition into disjoint per-shard CSR slices; each shard owns
+// its partition's offsets, edges, feature/content rows and per-adjacency
+// alias tables (built in parallel at New), and serves reads only for the
+// nodes it owns. Replicas multiply a shard's read throughput and carry
+// only atomic load counters.
 //
-// All alias tables are precomputed once at New into a single flat pair of
-// arrays aligned with the graph's CSR edge array, so the sampling hot
-// path is lock-free and allocation-free: replicas keep only atomic load
-// counters, and SampleNeighborsInto writes into a caller-owned buffer.
-// Construction is parallelized across shards by a worker pool.
+// The Engine itself is the routing layer: a single-node call is directed
+// to the owning shard with one arithmetic or array-index lookup, and
+// multi-node calls (cache refresh batches, SampleTree frontiers) are
+// scatter-gathered so each shard is visited exactly once per batch. Both
+// the Engine and the in-process Shard implement GraphService — the seam
+// where an RPC-backed shard would plug in: the routing layer would hold
+// client stubs instead of local shards, and each per-shard batch visit
+// would become one RPC.
 //
-// In the paper the shards live on separate servers; here each replica is
-// an independently counted region served in-process, so load-spreading
-// effects are real while the network is not. Request counting per replica
-// exposes the load-balance behavior the experiments check.
+// The hot path is lock- and allocation-free: routing is O(1) arithmetic,
+// every shard's alias arrays are immutable after New and read without
+// locks, and SampleNeighborsInto / SampleNeighborsBatchInto write into
+// caller-owned buffers. In the paper the shards live on separate servers;
+// here each replica is an independently counted region served in-process,
+// so load-spreading effects are real while the network is not.
 package engine
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
-	"zoomer/internal/alias"
 	"zoomer/internal/graph"
+	"zoomer/internal/partition"
 	"zoomer/internal/rng"
 	"zoomer/internal/tensor"
 )
 
+// GraphService is the read surface of one graph store: weighted neighbor
+// sampling plus the node attribute reads the samplers and the serving
+// embedder need. The in-process *Shard implements it over its partition;
+// *Engine implements it as the routing layer over all shards. An
+// RPC-backed shard implements the same four methods over the wire (plus,
+// in practice, a batch sampling call mirroring SampleNeighborsBatchInto).
+type GraphService interface {
+	SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) int
+	Neighbors(id graph.NodeID) []graph.Edge
+	Features(id graph.NodeID) []int32
+	Content(id graph.NodeID) tensor.Vec
+}
+
+// Both the routing layer and the in-process shard serve the same surface.
+var (
+	_ GraphService = (*Engine)(nil)
+	_ GraphService = (*Shard)(nil)
+)
+
 // Config sizes the engine.
 type Config struct {
-	Shards   int // graph partitions (capacity axis)
-	Replicas int // copies per shard (throughput axis)
+	Shards   int                // graph partitions (capacity axis)
+	Replicas int                // copies per shard (throughput axis)
+	Strategy partition.Strategy // node-to-shard assignment
 }
 
 // DefaultConfig mirrors a small production deployment.
-func DefaultConfig() Config { return Config{Shards: 4, Replicas: 2} }
+func DefaultConfig() Config { return Config{Shards: 4, Replicas: 2, Strategy: partition.Hash} }
 
-// Engine is a sharded, replicated view over an immutable graph.
+// Engine is the routing layer over the per-shard stores.
 type Engine struct {
 	g        *graph.Graph
-	shards   []*shard
+	part     *partition.Partition
+	shards   []*Shard
 	replicas int
-
-	// Flat alias tables, one slot per CSR edge: node id's table occupies
-	// prob/alias[offsets[id]:offsets[id+1]], with alias indices local to
-	// the adjacency. Immutable after New, shared by every replica, read
-	// without locks.
-	offsets []int32
-	prob    []float64
-	alias   []int32
-	tables  int // adjacencies with a table (degree > 0)
 }
 
-type shard struct {
-	replicas []*replica
-	rr       atomic.Uint32 // round-robin replica cursor
-}
-
-// replica carries only its load counter: the tables it serves are the
-// engine-wide immutable arrays, so adding replicas adds sampling capacity
-// without duplicating state or taking locks.
-type replica struct {
-	requests atomic.Int64
-}
-
-// New builds an engine over g, precomputing every adjacency's alias table
-// into the shared flat arrays with one construction worker per shard (up
-// to GOMAXPROCS). It panics on non-positive shard or replica counts.
+// New partitions g and builds one store per shard, precomputing every
+// owned adjacency's alias table into the shard's flat arrays with a
+// worker pool (up to GOMAXPROCS across all shards). It panics on
+// non-positive shard or replica counts.
 func New(g *graph.Graph, cfg Config) *Engine {
 	if cfg.Shards <= 0 || cfg.Replicas <= 0 {
 		panic(fmt.Sprintf("engine: invalid config %+v", cfg))
 	}
-	e := &Engine{g: g, replicas: cfg.Replicas}
-	e.shards = make([]*shard, cfg.Shards)
+	part := partition.Split(g, cfg.Shards, cfg.Strategy)
+	e := &Engine{g: g, part: part, replicas: cfg.Replicas}
+	e.shards = make([]*Shard, cfg.Shards)
 	for i := range e.shards {
-		s := &shard{replicas: make([]*replica, cfg.Replicas)}
-		for j := range s.replicas {
-			s.replicas[j] = &replica{}
-		}
-		e.shards[i] = s
+		e.shards[i] = newShard(i, part, cfg.Replicas)
 	}
-	e.buildTables(cfg.Shards)
+	e.buildTables()
 	return e
 }
 
-// buildTables precomputes the flat alias arrays. Nodes are split into
-// contiguous blocks (one per shard, capped by GOMAXPROCS) and built
-// concurrently; each worker reuses its own weight/stack scratch across
-// its nodes.
-func (e *Engine) buildTables(shards int) {
-	g := e.g
-	n := g.NumNodes()
-	e.offsets = g.Offsets()
-	e.prob = make([]float64, g.NumEdges())
-	e.alias = make([]int32, g.NumEdges())
-
-	workers := shards
-	if p := runtime.GOMAXPROCS(0); workers > p {
-		workers = p
+// buildTables precomputes each shard's alias arrays concurrently: shards
+// build in parallel, and a shard's node range is further chunked so the
+// pool keeps GOMAXPROCS workers busy even with few shards.
+func (e *Engine) buildTables() {
+	chunksPer := 1
+	if p := runtime.GOMAXPROCS(0); p > len(e.shards) {
+		chunksPer = (p + len(e.shards) - 1) / len(e.shards)
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	var tables atomic.Int64
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
+	for _, s := range e.shards {
+		n := s.store.NumNodes()
+		chunk := (n + chunksPer - 1) / chunksPer
+		if chunk < 1 {
+			chunk = 1
 		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			var weights []float64
-			var stack []int32
-			built := int64(0)
-			for id := lo; id < hi; id++ {
-				elo, ehi := e.offsets[id], e.offsets[id+1]
-				deg := int(ehi - elo)
-				if deg == 0 {
-					continue
-				}
-				if cap(weights) < deg {
-					weights = make([]float64, deg)
-					stack = make([]int32, deg)
-				}
-				weights = weights[:deg]
-				stack = stack[:deg]
-				for i, edge := range g.Edges()[elo:ehi] {
-					weights[i] = float64(edge.Weight)
-				}
-				if err := alias.BuildInto(e.prob[elo:ehi], e.alias[elo:ehi], weights, stack); err != nil {
-					// Degenerate weights (all zero, or invalid values in a
-					// graph that bypassed Builder validation): degrade this
-					// adjacency to uniform rather than fail the engine.
-					for i := range weights {
-						weights[i] = 1
-					}
-					alias.MustBuildInto(e.prob[elo:ehi], e.alias[elo:ehi], weights, stack)
-				}
-				built++
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
 			}
-			tables.Add(built)
-		}(lo, hi)
+			wg.Add(1)
+			go func(s *Shard, lo, hi int) {
+				defer wg.Done()
+				s.buildTables(lo, hi)
+			}(s, lo, hi)
+		}
 	}
 	wg.Wait()
-	e.tables = int(tables.Load())
 }
 
-// Graph returns the underlying immutable graph.
+// Graph returns the underlying immutable graph (whole-graph metadata and
+// offline access; serving reads go through the shards).
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
-func (e *Engine) shardOf(id graph.NodeID) *shard {
-	return e.shards[int(uint32(id))%len(e.shards)]
-}
+// NumNodes returns the total node count across all shards.
+func (e *Engine) NumNodes() int { return e.g.NumNodes() }
 
-// pick selects a replica round-robin, spreading load evenly.
-func (s *shard) pick() *replica {
-	n := s.rr.Add(1)
-	return s.replicas[int(n)%len(s.replicas)]
-}
+// ContentDim returns the dimensionality of content vectors.
+func (e *Engine) ContentDim() int { return e.g.ContentDim() }
 
-// Neighbors returns the adjacency list of id (immutable view; no lock
-// needed — reads go straight to the shared CSR).
+// NumShards returns the number of partitions.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// ShardOf returns the index of the shard owning id — the routing lookup,
+// O(1) arithmetic (hash partitioning) or one array read (degree-balanced).
+func (e *Engine) ShardOf(id graph.NodeID) int { return e.part.Owner(id) }
+
+// Shard returns the in-process store for one partition.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// Neighbors returns the adjacency list of id, read from its owning
+// shard's CSR slice (immutable view; no lock needed).
 func (e *Engine) Neighbors(id graph.NodeID) []graph.Edge {
-	return e.g.Neighbors(id)
+	return e.shards[e.part.Owner(id)].Neighbors(id)
 }
 
-// Content returns the node's content vector.
-func (e *Engine) Content(id graph.NodeID) tensor.Vec { return e.g.Content(id) }
+// Content returns the node's content vector from its owning shard.
+func (e *Engine) Content(id graph.NodeID) tensor.Vec {
+	return e.shards[e.part.Owner(id)].Content(id)
+}
 
-// Features returns the node's categorical features.
-func (e *Engine) Features(id graph.NodeID) []int32 { return e.g.Features(id) }
+// Features returns the node's categorical features from its owning shard.
+func (e *Engine) Features(id graph.NodeID) []int32 {
+	return e.shards[e.part.Owner(id)].Features(id)
+}
 
 // SampleNeighbors draws k neighbors of id with replacement, weighted by
-// edge weight, in O(1) per draw via the precomputed flat alias table. An
-// isolated node yields nil. The path takes no locks; the only shared
-// writes are the replica load counter and round-robin cursor.
+// edge weight, in O(1) per draw via the owning shard's precomputed alias
+// table. An isolated node yields nil.
 func (e *Engine) SampleNeighbors(id graph.NodeID, k int, r *rng.RNG) []graph.NodeID {
-	if k <= 0 || e.offsets[id] == e.offsets[id+1] {
+	sh := e.shards[e.part.Owner(id)]
+	if k <= 0 || sh.degree(id) == 0 {
 		return nil
 	}
 	out := make([]graph.NodeID, k)
-	e.SampleNeighborsInto(id, out, r)
+	sh.SampleNeighborsInto(id, out, r)
 	return out
 }
 
-// SampleNeighborsInto fills out with weighted neighbor draws of id (with
-// replacement) and returns the number written: len(out), or 0 for an
-// isolated node. It performs no heap allocation — the steady-state
-// serving path.
+// SampleNeighborsInto routes to the owning shard and fills out with
+// weighted neighbor draws of id (with replacement), returning the number
+// written: len(out), or 0 for an isolated node. It performs no heap
+// allocation and takes no locks — the steady-state serving path.
 func (e *Engine) SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) int {
-	lo, hi := e.offsets[id], e.offsets[id+1]
-	deg := int(hi - lo)
-	if deg == 0 || len(out) == 0 {
-		return 0
-	}
-	rep := e.shardOf(id).pick()
-	rep.requests.Add(1)
-
-	edges := e.g.Edges()
-	prob := e.prob[lo:hi]
-	aliasIdx := e.alias[lo:hi]
-	for i := range out {
-		out[i] = edges[int(lo)+alias.SampleFrom(prob, aliasIdx, r)].To
-	}
-	return len(out)
+	return e.shards[e.part.Owner(id)].SampleNeighborsInto(id, out, r)
 }
 
-// Stats reports per-replica request counts, flattened shard-major.
+// Stats reports per-replica and per-shard request counts plus the static
+// partition shape.
 type Stats struct {
 	Shards, Replicas int
-	RequestsPerRep   []int64
-	CachedTables     int
+	RequestsPerRep   []int64 // flattened shard-major
+	RequestsPerShard []int64
+	NodesPerShard    []int
+	EdgesPerShard    []int
+	// Imbalance is max/mean over RequestsPerShard (1 = perfectly even,
+	// 0 when no requests have been served).
+	Imbalance    float64
+	CachedTables int
 }
 
 // Stats snapshots load counters. CachedTables counts the precomputed
-// per-adjacency tables (every node with degree > 0).
+// per-adjacency tables (every owned node with degree > 0).
 func (e *Engine) Stats() Stats {
-	st := Stats{Shards: len(e.shards), Replicas: e.replicas, CachedTables: e.tables}
+	st := Stats{Shards: len(e.shards), Replicas: e.replicas}
+	var total, maxShard int64
 	for _, s := range e.shards {
+		var perShard int64
 		for _, rep := range s.replicas {
-			st.RequestsPerRep = append(st.RequestsPerRep, rep.requests.Load())
+			c := rep.requests.Load()
+			st.RequestsPerRep = append(st.RequestsPerRep, c)
+			perShard += c
 		}
+		st.RequestsPerShard = append(st.RequestsPerShard, perShard)
+		st.NodesPerShard = append(st.NodesPerShard, s.store.NumNodes())
+		st.EdgesPerShard = append(st.EdgesPerShard, s.store.NumEdges())
+		st.CachedTables += s.Tables()
+		total += perShard
+		if perShard > maxShard {
+			maxShard = perShard
+		}
+	}
+	if total > 0 {
+		mean := float64(total) / float64(len(e.shards))
+		st.Imbalance = float64(maxShard) / mean
 	}
 	return st
 }

@@ -178,6 +178,47 @@ func BenchmarkSampleNeighborsParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkSampleNeighborsBatch measures the scatter-gather layer: 64
+// ids routed to their shards in one call, one replica charge per shard.
+func BenchmarkSampleNeighborsBatch(b *testing.B) {
+	e := buildEngine(b)
+	g := e.Graph()
+	r := rng.New(1)
+	const batch, k = 64, 10
+	ids := make([]graph.NodeID, batch)
+	for i := range ids {
+		ids[i] = graph.NodeID(r.Intn(g.NumNodes()))
+	}
+	out := make([]graph.NodeID, batch*k)
+	ns := make([]int32, batch)
+	bs := NewBatchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.SampleNeighborsBatchInto(ids, k, out, ns, r, bs)
+	}
+}
+
+// BenchmarkSampleTree measures frontier-batched multi-hop expansion.
+func BenchmarkSampleTree(b *testing.B) {
+	e := buildEngine(b)
+	g := e.Graph()
+	var ego graph.NodeID
+	for id := 0; id < g.NumNodes(); id++ {
+		if g.Degree(graph.NodeID(id)) >= 10 {
+			ego = graph.NodeID(id)
+			break
+		}
+	}
+	r := rng.New(2)
+	bs := NewBatchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.SampleTree(ego, 2, 10, r, bs)
+	}
+}
+
 // SampleNeighborsInto must fill the caller's buffer without allocating
 // and agree with the adjacency.
 func TestSampleNeighborsInto(t *testing.T) {

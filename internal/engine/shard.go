@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"sync/atomic"
+
+	"zoomer/internal/alias"
+	"zoomer/internal/graph"
+	"zoomer/internal/partition"
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// Shard is one partition's in-process store: the per-shard CSR slice from
+// internal/partition plus flat alias arrays aligned with the shard's own
+// edge array (node with local index li has its table in
+// prob/alias[Offsets[li]:Offsets[li+1]], alias indices local to the
+// adjacency). All state is immutable after New and read without locks;
+// replicas carry only atomic load counters. Shard implements GraphService
+// for global node ids it owns — calls for foreign ids are a routing bug
+// and will read another node's rows or index out of range.
+type Shard struct {
+	id    int
+	part  *partition.Partition
+	store *partition.Shard
+
+	prob  []float64
+	alias []int32
+	// tableCount counts adjacencies with a table (degree > 0); atomic only
+	// because chunks of one shard build concurrently during New.
+	tableCount atomic.Int64
+
+	replicas []*replica
+	rr       atomic.Uint32 // round-robin replica cursor
+}
+
+// replica carries only its load counter: the tables it serves are the
+// shard's immutable arrays, so adding replicas adds sampling capacity
+// without duplicating state or taking locks.
+type replica struct {
+	requests atomic.Int64
+}
+
+func newShard(id int, part *partition.Partition, replicas int) *Shard {
+	s := &Shard{
+		id:       id,
+		part:     part,
+		store:    &part.Shards[id],
+		replicas: make([]*replica, replicas),
+	}
+	for i := range s.replicas {
+		s.replicas[i] = &replica{}
+	}
+	s.prob = make([]float64, s.store.NumEdges())
+	s.alias = make([]int32, s.store.NumEdges())
+	return s
+}
+
+// buildTables fills the alias arrays for local node indices [lo, hi),
+// reusing one weight/stack scratch across the range. Chunks of one shard
+// never overlap, so concurrent builders need no synchronization beyond
+// the atomic table counter folded in by the caller.
+func (s *Shard) buildTables(lo, hi int) {
+	var weights []float64
+	var stack []int32
+	built := 0
+	for li := lo; li < hi; li++ {
+		elo, ehi := s.store.Offsets[li], s.store.Offsets[li+1]
+		deg := int(ehi - elo)
+		if deg == 0 {
+			continue
+		}
+		if cap(weights) < deg {
+			weights = make([]float64, deg)
+			stack = make([]int32, deg)
+		}
+		weights = weights[:deg]
+		stack = stack[:deg]
+		for i, edge := range s.store.Edges[elo:ehi] {
+			weights[i] = float64(edge.Weight)
+		}
+		if err := alias.BuildInto(s.prob[elo:ehi], s.alias[elo:ehi], weights, stack); err != nil {
+			// Degenerate weights (all zero, or invalid values in a graph
+			// that bypassed Builder validation): degrade this adjacency to
+			// uniform rather than fail the shard.
+			for i := range weights {
+				weights[i] = 1
+			}
+			alias.MustBuildInto(s.prob[elo:ehi], s.alias[elo:ehi], weights, stack)
+		}
+		built++
+	}
+	s.tableCount.Add(int64(built))
+}
+
+// Tables returns the number of precomputed per-adjacency alias tables.
+func (s *Shard) Tables() int { return int(s.tableCount.Load()) }
+
+// pick selects a replica round-robin, spreading load evenly.
+func (s *Shard) pick() *replica {
+	n := s.rr.Add(1)
+	return s.replicas[int(n)%len(s.replicas)]
+}
+
+// degree returns the out-degree of an owned node.
+func (s *Shard) degree(id graph.NodeID) int {
+	li := s.part.Local(id)
+	return int(s.store.Offsets[li+1] - s.store.Offsets[li])
+}
+
+// Neighbors returns the adjacency list of an owned node (immutable view
+// into the shard's CSR slice; no lock needed).
+func (s *Shard) Neighbors(id graph.NodeID) []graph.Edge {
+	li := s.part.Local(id)
+	return s.store.Edges[s.store.Offsets[li]:s.store.Offsets[li+1]]
+}
+
+// Content returns the node's content vector.
+func (s *Shard) Content(id graph.NodeID) tensor.Vec {
+	return s.store.Content[s.part.Local(id)]
+}
+
+// Features returns the node's categorical features.
+func (s *Shard) Features(id graph.NodeID) []int32 {
+	return s.store.Features[s.part.Local(id)]
+}
+
+// SampleNeighborsInto fills out with weighted neighbor draws of an owned
+// node (with replacement) and returns the number written: len(out), or 0
+// for an isolated node. One replica is charged per call. It performs no
+// heap allocation; the only shared writes are the replica load counter
+// and round-robin cursor.
+func (s *Shard) SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) int {
+	li := s.part.Local(id)
+	lo, hi := s.store.Offsets[li], s.store.Offsets[li+1]
+	if lo == hi || len(out) == 0 {
+		return 0
+	}
+	s.pick().requests.Add(1)
+	s.sampleLocal(lo, hi, out, r)
+	return len(out)
+}
+
+// sampleLocal draws len(out) alias samples from the adjacency spanning
+// [lo, hi) in the shard's edge array. Callers have already charged a
+// replica for the visit.
+func (s *Shard) sampleLocal(lo, hi int32, out []graph.NodeID, r *rng.RNG) {
+	prob := s.prob[lo:hi]
+	aliasIdx := s.alias[lo:hi]
+	edges := s.store.Edges
+	for i := range out {
+		out[i] = edges[int(lo)+alias.SampleFrom(prob, aliasIdx, r)].To
+	}
+}

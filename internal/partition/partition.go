@@ -1,0 +1,204 @@
+// Package partition splits a built graph.Graph into disjoint per-shard
+// CSR slices plus a compact routing table — the data layout of the
+// paper's distributed graph engine (§VI), where each server holds one
+// partition of the web-scale graph and serves reads only for the nodes
+// it owns.
+//
+// Two strategies are provided. Hash assigns node id to shard id%S, so
+// routing is pure arithmetic and needs no per-node state at all.
+// DegreeBalanced assigns nodes greedily to the shard with the smallest
+// edge total (longest-processing-time scheduling over degrees), which
+// evens out edge storage and sampling work when the degree distribution
+// is skewed; its routing table is two int32 arrays indexed by node id.
+// Either way, Owner and Local are O(1) branch-predictable lookups with
+// no allocation — they sit on the serving hot path.
+package partition
+
+import (
+	"fmt"
+
+	"zoomer/internal/graph"
+	"zoomer/internal/tensor"
+)
+
+// Strategy selects how nodes are assigned to shards.
+type Strategy uint8
+
+const (
+	// Hash routes node id to shard id % S; local index is id / S.
+	Hash Strategy = iota
+	// DegreeBalanced greedily assigns nodes (heaviest degree first) to
+	// the shard with the fewest edges so far.
+	DegreeBalanced
+)
+
+// String returns the lowercase strategy name.
+func (s Strategy) String() string {
+	switch s {
+	case Hash:
+		return "hash"
+	case DegreeBalanced:
+		return "degree-balanced"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// ParseStrategy maps a flag value to a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch s {
+	case "hash":
+		return Hash, nil
+	case "degree", "degree-balanced":
+		return DegreeBalanced, nil
+	}
+	return Hash, fmt.Errorf("partition: unknown strategy %q (want hash or degree-balanced)", s)
+}
+
+// Shard is one partition's store: the CSR slice of its owned nodes plus
+// views of their feature and content rows. Local index i corresponds to
+// global id Nodes[i]; its adjacency is Edges[Offsets[i]:Offsets[i+1]]
+// with neighbor ids kept global (neighbors may live on other shards,
+// exactly as in the distributed deployment).
+type Shard struct {
+	Nodes    []graph.NodeID
+	Offsets  []int32
+	Edges    []graph.Edge
+	Features [][]int32
+	Content  []tensor.Vec
+}
+
+// NumNodes returns the number of nodes this shard owns.
+func (s *Shard) NumNodes() int { return len(s.Nodes) }
+
+// NumEdges returns the number of edges this shard stores.
+func (s *Shard) NumEdges() int { return len(s.Edges) }
+
+// Partition is the result of splitting a graph: per-shard stores and the
+// routing table mapping a global node id to (owner shard, local index).
+type Partition struct {
+	strategy Strategy
+	shards   int
+	// Routing table, nil under Hash where routing is arithmetic.
+	owner []int32
+	local []int32
+	// Per-shard stores.
+	Shards []Shard
+}
+
+// Split partitions g into the given number of shards. It panics on a
+// non-positive shard count.
+func Split(g *graph.Graph, shards int, strategy Strategy) *Partition {
+	if shards <= 0 {
+		panic(fmt.Sprintf("partition: non-positive shard count %d", shards))
+	}
+	p := &Partition{strategy: strategy, shards: shards, Shards: make([]Shard, shards)}
+	n := g.NumNodes()
+	switch strategy {
+	case Hash:
+		// owner = id % shards, local = id / shards: no table needed.
+	case DegreeBalanced:
+		p.owner = make([]int32, n)
+		p.local = make([]int32, n)
+		assignDegreeBalanced(g, shards, p.owner)
+	default:
+		panic(fmt.Sprintf("partition: unknown strategy %d", strategy))
+	}
+
+	// Count owned nodes and edges per shard.
+	nodesPer := make([]int, shards)
+	edgesPer := make([]int, shards)
+	for id := 0; id < n; id++ {
+		s := p.Owner(graph.NodeID(id))
+		nodesPer[s]++
+		edgesPer[s] += g.Degree(graph.NodeID(id))
+	}
+	for s := 0; s < shards; s++ {
+		p.Shards[s] = Shard{
+			Nodes:    make([]graph.NodeID, 0, nodesPer[s]),
+			Offsets:  make([]int32, 1, nodesPer[s]+1),
+			Edges:    make([]graph.Edge, 0, edgesPer[s]),
+			Features: make([][]int32, 0, nodesPer[s]),
+			Content:  make([]tensor.Vec, 0, nodesPer[s]),
+		}
+	}
+
+	// Fill per-shard CSR in ascending global id order, so local indices
+	// are monotone in id within a shard (Hash's id/S arithmetic relies on
+	// this ordering; DegreeBalanced records it in the table).
+	for id := 0; id < n; id++ {
+		nid := graph.NodeID(id)
+		s := &p.Shards[p.Owner(nid)]
+		if p.local != nil {
+			p.local[id] = int32(len(s.Nodes))
+		}
+		s.Nodes = append(s.Nodes, nid)
+		s.Edges = append(s.Edges, g.Neighbors(nid)...)
+		s.Offsets = append(s.Offsets, int32(len(s.Edges)))
+		s.Features = append(s.Features, g.Features(nid))
+		s.Content = append(s.Content, g.Content(nid))
+	}
+	return p
+}
+
+// assignDegreeBalanced fills owner with a greedy LPT assignment: nodes in
+// decreasing degree order (ties by id) each go to the shard with the
+// smallest edge total so far.
+func assignDegreeBalanced(g *graph.Graph, shards int, owner []int32) {
+	n := g.NumNodes()
+	// Counting sort node ids by degree, descending.
+	maxDeg := 0
+	for id := 0; id < n; id++ {
+		if d := g.Degree(graph.NodeID(id)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([]int32, maxDeg+2)
+	for id := 0; id < n; id++ {
+		buckets[maxDeg-g.Degree(graph.NodeID(id))+1]++
+	}
+	for i := 1; i < len(buckets); i++ {
+		buckets[i] += buckets[i-1]
+	}
+	order := make([]int32, n)
+	for id := 0; id < n; id++ {
+		slot := maxDeg - g.Degree(graph.NodeID(id))
+		order[buckets[slot]] = int32(id)
+		buckets[slot]++
+	}
+
+	load := make([]int64, shards)
+	for _, id := range order {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		owner[id] = int32(best)
+		load[best] += int64(g.Degree(id))
+	}
+}
+
+// NumShards returns the shard count.
+func (p *Partition) NumShards() int { return p.shards }
+
+// Strategy returns the assignment strategy used.
+func (p *Partition) Strategy() Strategy { return p.strategy }
+
+// Owner returns the shard owning id: modular arithmetic under Hash, one
+// array read under DegreeBalanced. It performs no allocation.
+func (p *Partition) Owner(id graph.NodeID) int {
+	if p.owner == nil {
+		return int(uint32(id)) % p.shards
+	}
+	return int(p.owner[id])
+}
+
+// Local returns id's index within its owner shard's store.
+func (p *Partition) Local(id graph.NodeID) int32 {
+	if p.local == nil {
+		return int32(uint32(id) / uint32(p.shards))
+	}
+	return p.local[id]
+}

@@ -30,15 +30,7 @@ func splitmix64(x *uint64) uint64 {
 // New returns a generator deterministically seeded from seed.
 func New(seed uint64) *RNG {
 	r := &RNG{}
-	x := seed
-	for i := range r.s {
-		r.s[i] = splitmix64(&x)
-	}
-	// xoshiro must not be seeded with all zeros; splitmix64 of any seed
-	// cannot produce four zero words, but guard anyway.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9e3779b97f4a7c15
-	}
+	r.Reseed(seed)
 	return r
 }
 
@@ -56,6 +48,22 @@ func (r *RNG) Uint64() uint64 {
 	s[2] ^= t
 	s[3] = rotl(s[3], 45)
 	return result
+}
+
+// Reseed re-initializes r in place from seed, exactly as New(seed) would,
+// without allocating. The engine's scatter-gather batch sampler uses it to
+// derive one deterministic sub-stream per batch entry from a reused
+// generator, so batch results do not depend on per-shard visit order.
+func (r *RNG) Reseed(seed uint64) {
+	x := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not be seeded with all zeros; splitmix64 of any seed
+	// cannot produce four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
 }
 
 // Split returns a new generator whose stream is statistically independent

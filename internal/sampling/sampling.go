@@ -25,6 +25,19 @@ import (
 	"zoomer/internal/tensor"
 )
 
+// GraphView is the read surface the samplers traverse. Both the
+// in-memory *graph.Graph and the partitioned engine's routing layer
+// (engine.Engine, whose shard stores sit behind its GraphService seam)
+// satisfy it, so ROI construction runs identically over a local graph
+// and over a sharded store — the property the cross-shard equivalence
+// tests pin down.
+type GraphView interface {
+	NumNodes() int
+	ContentDim() int
+	Neighbors(id graph.NodeID) []graph.Edge
+	Content(id graph.NodeID) tensor.Vec
+}
+
 // Sampler selects up to k neighbors of ego. focal is the summed focal
 // vector of the request (nil for focal-agnostic samplers). sc supplies
 // reusable buffers (nil allowed); when non-nil, the returned slice is
@@ -32,7 +45,7 @@ import (
 // same scratch — callers that retain edges must copy them.
 type Sampler interface {
 	Name() string
-	Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge
+	Sample(g GraphView, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge
 }
 
 // RelevanceFunc scores a neighbor's content against the focal vector.
@@ -62,7 +75,7 @@ func (s *FocalBiased) Name() string { return "focal-biased" }
 
 // Sample implements Sampler. With a nil focal it degrades to weight-ranked
 // selection (relevance indistinguishable), keeping behavior total.
-func (s *FocalBiased) Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+func (s *FocalBiased) Sample(g GraphView, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
 	if k <= 0 {
 		return nil
 	}
@@ -106,7 +119,7 @@ type Uniform struct{}
 func (Uniform) Name() string { return "uniform" }
 
 // Sample implements Sampler.
-func (Uniform) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+func (Uniform) Sample(g GraphView, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
 	if k <= 0 {
 		return nil
 	}
@@ -142,7 +155,7 @@ type Weighted struct{}
 func (Weighted) Name() string { return "weighted" }
 
 // Sample implements Sampler.
-func (Weighted) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+func (Weighted) Sample(g GraphView, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
 	if k <= 0 {
 		return nil
 	}
@@ -195,7 +208,7 @@ type visitCounter struct {
 	sparse map[graph.NodeID]int32
 }
 
-func newVisitCounter(sc *Scratch, g *graph.Graph, walkBudget int) visitCounter {
+func newVisitCounter(sc *Scratch, g GraphView, walkBudget int) visitCounter {
 	if sc != nil {
 		sc.visitsFor(g.NumNodes())
 		return visitCounter{sc: sc}
@@ -225,7 +238,7 @@ func (v visitCounter) done() {
 }
 
 // Sample implements Sampler.
-func (s *ImportanceWalk) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+func (s *ImportanceWalk) Sample(g GraphView, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
 	if k <= 0 {
 		return nil
 	}
@@ -277,7 +290,7 @@ func NewBiasedWalk() *BiasedWalk { return &BiasedWalk{Walks: 30, Length: 4, Bias
 func (s *BiasedWalk) Name() string { return "biased-walk" }
 
 // Sample implements Sampler.
-func (s *BiasedWalk) Sample(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+func (s *BiasedWalk) Sample(g GraphView, ego graph.NodeID, focal tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
 	if k <= 0 {
 		return nil
 	}
@@ -344,7 +357,7 @@ func (s *ClusterImportance) Name() string { return "cluster-importance" }
 // (centroids are materialized per call); this sampler is an offline
 // baseline, not a serving-path component, so it only borrows the
 // scratch's output buffer.
-func (s *ClusterImportance) Sample(g *graph.Graph, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
+func (s *ClusterImportance) Sample(g GraphView, ego graph.NodeID, _ tensor.Vec, k int, r *rng.RNG, sc *Scratch) []graph.Edge {
 	if k <= 0 {
 		return nil
 	}
@@ -440,12 +453,12 @@ func (t *Tree) Size() int {
 // With a non-nil scratch the tree is carved out of the scratch's arena:
 // steady-state construction allocates nothing, and the tree stays valid
 // until sc.Reset(). With nil sc the tree is independently heap-allocated.
-func BuildTree(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, hops, k int, s Sampler, r *rng.RNG, sc *Scratch) *Tree {
+func BuildTree(g GraphView, ego graph.NodeID, focal tensor.Vec, hops, k int, s Sampler, r *rng.RNG, sc *Scratch) *Tree {
 	sc = sc.orNew()
 	return buildTree(g, ego, focal, hops, k, s, r, sc)
 }
 
-func buildTree(g *graph.Graph, ego graph.NodeID, focal tensor.Vec, hops, k int, s Sampler, r *rng.RNG, sc *Scratch) *Tree {
+func buildTree(g GraphView, ego graph.NodeID, focal tensor.Vec, hops, k int, s Sampler, r *rng.RNG, sc *Scratch) *Tree {
 	t := sc.newTree(ego)
 	if hops == 0 {
 		return t

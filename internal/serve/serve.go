@@ -7,10 +7,13 @@
 // QPS — the Fig. 9 experiment.
 //
 // The hot path is engineered for contention- and allocation-freedom: the
-// neighbor cache is split into independently locked segments (hashed by
-// node id) each with its own refresh queue and refresher goroutine, and
-// every server worker owns an EmbedScratch so request embedding performs
-// zero heap allocations at steady state.
+// neighbor cache is split into independently locked segments keyed so
+// each segment's ids live on a single engine shard (its refresher drains
+// misses and refreshes through one scatter-gather batch per wake, i.e.
+// one shard visit), synchronous miss fills are single-flighted per id,
+// and every server worker owns an EmbedScratch and an ann.SearchScratch
+// so request embedding and index search perform zero heap allocations at
+// steady state.
 package serve
 
 import (
@@ -134,71 +137,129 @@ func (e *Embedder) Item(id graph.NodeID) tensor.Vec {
 	return core.ApplyMLP(e.sw.TowerItem, e.sw.Base[id])
 }
 
-// cacheSegments is the number of independently locked cache segments; a
-// power of two so the id hash is a mask. 16 comfortably exceeds typical
-// worker counts, so segment collisions under load are rare.
-const cacheSegments = 16
+// minCacheSegments is the floor on independently locked cache segments;
+// the actual count is the smallest multiple of the engine's shard count
+// at or above it, so every segment's ids live on exactly one shard.
+const minCacheSegments = 16
+
+// refreshBatch caps how many queued ids one refresher drains into a
+// single scatter-gather batch call.
+const refreshBatch = 64
+
+// fillCall is one in-flight synchronous miss fill; concurrent misses on
+// the same id wait on done instead of sampling redundantly.
+type fillCall struct {
+	done chan struct{}
+	nbrs []graph.NodeID
+}
 
 // cacheSegment is one lock domain of the neighbor cache, with its own
-// refresh queue, refresher goroutine seed, and counters.
+// refresh queue, refresher goroutine, single-flight registry and
+// counters.
 type cacheSegment struct {
 	mu      sync.RWMutex
 	entries map[graph.NodeID][]graph.NodeID
+	filling map[graph.NodeID]*fillCall
 	refresh chan graph.NodeID
 
 	hits, misses, refreshes atomic.Int64
 }
 
 // NeighborCache stores the k last-sampled neighbors per node, sharded
-// into independently locked segments by node id. Hits return immediately
-// and enqueue an asynchronous refresh on the segment's own queue,
-// decoupling the sampling path from the request path exactly as §VII-E
-// describes ("cache updating is fully asynchronous from users' timely
-// requests").
+// into independently locked segments. Segment keys align with the
+// engine's shard ownership — every id in a segment lives on the same
+// graph shard — so a segment's refresher only ever talks to one shard
+// (one RPC peer, were the shards remote) and drains its queue through
+// the engine's scatter-gather batch path. Hits return immediately and
+// enqueue an asynchronous refresh on the segment's own queue, decoupling
+// the sampling path from the request path exactly as §VII-E describes
+// ("cache updating is fully asynchronous from users' timely requests").
 type NeighborCache struct {
-	eng  *engine.Engine
-	k    int
-	segs [cacheSegments]cacheSegment
-
-	done chan struct{}
-	wg   sync.WaitGroup
+	eng      *engine.Engine
+	k        int
+	segs     []cacheSegment
+	perShard int // segments per engine shard
+	done     chan struct{}
+	wg       sync.WaitGroup
 }
 
 // NewNeighborCache starts a cache over eng with per-node budget k and one
 // background refresher per segment. Close must be called.
 func NewNeighborCache(eng *engine.Engine, k int, seed uint64) *NeighborCache {
-	c := &NeighborCache{eng: eng, k: k, done: make(chan struct{})}
+	shards := eng.NumShards()
+	perShard := (minCacheSegments + shards - 1) / shards
+	c := &NeighborCache{
+		eng:      eng,
+		k:        k,
+		segs:     make([]cacheSegment, shards*perShard),
+		perShard: perShard,
+		done:     make(chan struct{}),
+	}
 	for i := range c.segs {
 		seg := &c.segs[i]
 		seg.entries = make(map[graph.NodeID][]graph.NodeID)
+		seg.filling = make(map[graph.NodeID]*fillCall)
 		seg.refresh = make(chan graph.NodeID, 256)
 		c.wg.Add(1)
-		go func(seg *cacheSegment, seed uint64) {
-			defer c.wg.Done()
-			r := rng.New(seed)
-			for {
-				select {
-				case <-c.done:
-					return
-				case id := <-seg.refresh:
-					nbrs := c.eng.SampleNeighbors(id, c.k, r)
-					seg.mu.Lock()
-					seg.entries[id] = nbrs
-					seg.mu.Unlock()
-					seg.refreshes.Add(1)
-				}
-			}
-		}(seg, seed+uint64(i))
+		go c.refresher(seg, seed+uint64(i))
 	}
 	return c
 }
 
+// refresher drains one segment's queue, batching up to refreshBatch ids
+// into a single engine batch call. The segment's ids all live on one
+// shard, so each drained batch is exactly one shard visit.
+func (c *NeighborCache) refresher(seg *cacheSegment, seed uint64) {
+	defer c.wg.Done()
+	r := rng.New(seed)
+	bs := engine.NewBatchScratch()
+	ids := make([]graph.NodeID, 0, refreshBatch)
+	out := make([]graph.NodeID, refreshBatch*c.k)
+	ns := make([]int32, refreshBatch)
+	for {
+		select {
+		case <-c.done:
+			return
+		case id := <-seg.refresh:
+			ids = append(ids[:0], id)
+		drain:
+			for len(ids) < refreshBatch {
+				select {
+				case next := <-seg.refresh:
+					ids = append(ids, next)
+				default:
+					break drain
+				}
+			}
+			c.eng.SampleNeighborsBatchInto(ids, c.k, out, ns, r, bs)
+			seg.mu.Lock()
+			for i, id := range ids {
+				// Entries are handed out to readers, so each refresh
+				// installs a fresh slice rather than recycling.
+				var nbrs []graph.NodeID
+				if n := int(ns[i]); n > 0 {
+					nbrs = append(nbrs, out[i*c.k:i*c.k+n]...)
+				}
+				seg.entries[id] = nbrs
+			}
+			seg.mu.Unlock()
+			seg.refreshes.Add(int64(len(ids)))
+		}
+	}
+}
+
+// seg maps an id to its segment: the owning shard selects the segment
+// group, a multiplicative hash spreads the shard's ids across the
+// group's perShard segments.
 func (c *NeighborCache) seg(id graph.NodeID) *cacheSegment {
-	return &c.segs[uint32(id)&(cacheSegments-1)]
+	spread := int(uint32(id)*2654435761>>16) % c.perShard
+	return &c.segs[c.eng.ShardOf(id)*c.perShard+spread]
 }
 
 // Get returns the cached neighbor set for id, sampling synchronously on
-// a miss. Hits schedule an asynchronous refresh (best effort). Only the
+// a miss. Hits schedule an asynchronous refresh (best effort). Misses
+// are single-flighted per id: concurrent requests for the same cold id
+// share one sample instead of racing to overwrite the entry. Only the
 // id's own segment is locked, so requests for different segments never
 // contend.
 func (c *NeighborCache) Get(id graph.NodeID, r *rng.RNG) []graph.NodeID {
@@ -214,12 +275,30 @@ func (c *NeighborCache) Get(id graph.NodeID, r *rng.RNG) []graph.NodeID {
 		}
 		return nbrs
 	}
-	seg.misses.Add(1)
-	nbrs = c.eng.SampleNeighbors(id, c.k, r)
 	seg.mu.Lock()
-	seg.entries[id] = nbrs
+	if nbrs, ok := seg.entries[id]; ok { // filled while upgrading the lock
+		seg.mu.Unlock()
+		seg.hits.Add(1)
+		return nbrs
+	}
+	if f, ok := seg.filling[id]; ok { // coalesce onto the in-flight fill
+		seg.mu.Unlock()
+		<-f.done
+		seg.hits.Add(1)
+		return f.nbrs
+	}
+	f := &fillCall{done: make(chan struct{})}
+	seg.filling[id] = f
 	seg.mu.Unlock()
-	return nbrs
+
+	seg.misses.Add(1)
+	f.nbrs = c.eng.SampleNeighbors(id, c.k, r)
+	seg.mu.Lock()
+	seg.entries[id] = f.nbrs
+	delete(seg.filling, id)
+	seg.mu.Unlock()
+	close(f.done)
+	return f.nbrs
 }
 
 // Stats sums cache counters across segments.
@@ -307,11 +386,17 @@ func (s *Server) worker(seed uint64) {
 	defer s.wg.Done()
 	r := rng.New(seed)
 	sc := s.emb.NewScratch()
+	ssc := s.index.NewSearchScratch()
 	for req := range s.queue {
 		nbrsU := s.cache.Get(req.user, r)
 		nbrsQ := s.cache.Get(req.query, r)
 		uq := s.emb.UserQuery(req.user, req.query, nbrsU, nbrsQ, sc)
-		items := s.index.Search(uq, s.cfg.TopK, s.cfg.NProbe)
+		found := s.index.SearchInto(uq, s.cfg.TopK, s.cfg.NProbe, ssc)
+		// The scratch-backed results are clobbered by the next request;
+		// the response escapes to the submitter, so copy once — the only
+		// allocation left on the request path.
+		items := make([]ann.Result, len(found))
+		copy(items, found)
 		s.served.Add(1)
 		req.resp <- Response{Items: items, Latency: time.Since(req.enqueued)}
 	}

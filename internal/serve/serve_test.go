@@ -344,6 +344,118 @@ func TestLoadTestReportsDeltas(t *testing.T) {
 	}
 }
 
+// Concurrent misses on one cold id must coalesce onto a single
+// synchronous fill (regression: each miss used to sample independently
+// and race to overwrite the entry).
+func TestCacheMissSingleFlight(t *testing.T) {
+	h := buildHarness(t)
+	var cold graph.NodeID = -1
+	for _, id := range h.users {
+		if h.g.Degree(id) > 0 {
+			cold = id
+			break
+		}
+	}
+	if cold < 0 {
+		t.Skip("no connected user")
+	}
+	hits0, misses0, _ := h.cache.Stats()
+
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([][]graph.NodeID, workers)
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.New(uint64(w + 100))
+			<-start
+			results[w] = h.cache.Get(cold, r)
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	hits, misses, _ := h.cache.Stats()
+	if got := misses - misses0; got != 1 {
+		t.Fatalf("%d misses for one cold id, want exactly 1 (single-flight)", got)
+	}
+	if got := (hits - hits0) + (misses - misses0); got != workers {
+		t.Fatalf("hits+misses advanced by %d, want %d", got, workers)
+	}
+	// Every worker must observe a fully filled entry of real neighbors
+	// (an async refresh may have swapped the slice between observations,
+	// so contents need not be identical — but shape and validity must).
+	nbrSet := map[graph.NodeID]bool{}
+	for _, e := range h.g.Neighbors(cold) {
+		nbrSet[e.To] = true
+	}
+	for w := 0; w < workers; w++ {
+		if len(results[w]) != len(results[0]) {
+			t.Fatalf("worker %d saw %d neighbors, worker 0 saw %d", w, len(results[w]), len(results[0]))
+		}
+		for _, nb := range results[w] {
+			if !nbrSet[nb] {
+				t.Fatalf("worker %d got non-neighbor %d", w, nb)
+			}
+		}
+	}
+}
+
+// Segment keys must align with engine shard ownership: every id mapped
+// to a segment lives on the segment's shard, so a refresher's batch is
+// one shard visit.
+func TestCacheSegmentsAlignWithShards(t *testing.T) {
+	h := buildHarness(t)
+	segShard := make(map[*cacheSegment]int)
+	for id := 0; id < h.g.NumNodes(); id++ {
+		nid := graph.NodeID(id)
+		seg := h.cache.seg(nid)
+		shard := h.cache.eng.ShardOf(nid)
+		if prev, ok := segShard[seg]; ok && prev != shard {
+			t.Fatalf("segment holds ids of shards %d and %d", prev, shard)
+		}
+		segShard[seg] = shard
+	}
+	if len(h.cache.segs) < minCacheSegments {
+		t.Fatalf("only %d segments, floor is %d", len(h.cache.segs), minCacheSegments)
+	}
+}
+
+// The refresher path must batch: after many hits on cached ids, entries
+// are refreshed (asynchronously) through the scatter-gather call without
+// corrupting them.
+func TestBatchedRefreshKeepsEntriesValid(t *testing.T) {
+	h := buildHarness(t)
+	r := rng.New(9)
+	ids := h.users[:4]
+	for _, id := range ids {
+		h.cache.Get(id, r) // fill
+	}
+	for i := 0; i < 200; i++ {
+		h.cache.Get(ids[i%len(ids)], r) // hits enqueue refreshes
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, refreshes := h.cache.Stats(); refreshes > 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, id := range ids {
+		nbrSet := map[graph.NodeID]bool{}
+		for _, e := range h.g.Neighbors(id) {
+			nbrSet[e.To] = true
+		}
+		for _, nb := range h.cache.Get(id, r) {
+			if !nbrSet[nb] {
+				t.Fatalf("refreshed entry for %d contains non-neighbor %d", id, nb)
+			}
+		}
+	}
+}
+
 func BenchmarkServingEmbeddingScratch(b *testing.B) {
 	h := buildHarness(b)
 	r := rng.New(1)
