@@ -1,6 +1,9 @@
 # Tier-1 verification and perf tooling for the Zoomer reproduction.
 
-.PHONY: verify test race bench bench-compare
+.PHONY: verify test race bench bench-compare ci
+
+# The full CI gate: tier-1 verify, race hammer, perf regression check.
+ci: verify race bench-compare
 
 # The tier-1 loop: vet + build + test.
 verify:
@@ -11,9 +14,10 @@ verify:
 test:
 	go test ./...
 
-# Race-exercise the concurrent serving stack (scatter-gather included).
+# Race-exercise the concurrent serving stack (scatter-gather and the RPC
+# client connection pool included).
 race:
-	go test -race ./internal/engine/... ./internal/serve/... ./internal/sampling/... ./internal/partition/...
+	go test -race ./internal/engine/... ./internal/serve/... ./internal/sampling/... ./internal/partition/... ./internal/rpc/...
 
 # Hot-path benchmarks -> BENCH_hotpath.json (perf trajectory across PRs).
 bench:

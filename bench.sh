@@ -24,8 +24,10 @@ go test -run '^$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | tee -a "$TMP"
 # contention) and Batch (scatter-gather) variants.
 go test -run '^$' -bench 'BenchmarkSampleNeighbors|BenchmarkSampleTree' -benchmem -count 1 ./internal/engine/ | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkFocalBiased|BenchmarkBuildTree' -benchmem -count 1 ./internal/sampling/ | tee -a "$TMP" >&2
-go test -run '^$' -bench 'BenchmarkServingEmbedding|BenchmarkEndToEndRequest' -benchmem -count 1 ./internal/serve/ | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkServingEmbedding|BenchmarkEndToEndRequest|BenchmarkCacheRefresh' -benchmem -count 1 ./internal/serve/ | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkSearchInto' -benchmem -count 1 ./internal/ann/ | tee -a "$TMP" >&2
+# Remote graph store: loopback TCP round trip and scatter-gather batch.
+go test -run '^$' -bench 'BenchmarkRPCRoundTrip|BenchmarkRemoteBatch' -benchmem -count 1 ./internal/rpc/ | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkAblationAlias' -benchmem -count 1 . | tee -a "$TMP" >&2
 
 # Fold "BenchmarkName  N  x ns/op  y B/op  z allocs/op" lines into JSON.

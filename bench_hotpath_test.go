@@ -167,7 +167,7 @@ func BenchmarkHotPathSampleTree(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = w.eng.SampleTree(ego, 2, 10, r, bs)
+		_, _ = w.eng.SampleTree(ego, 2, 10, r, bs)
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	graphgen -scale medium -seed 7
+//	graphgen -scale small -out graph.zmrg   # compact binary for zoomer-shard -graph
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 func main() {
 	scale := flag.String("scale", "small", "tiny | small | medium | large | movielens")
 	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("out", "", "also write the graph as a compact binary file (for zoomer-shard -graph)")
 	flag.Parse()
 
 	var cfg loggen.Config
@@ -44,6 +46,23 @@ func main() {
 	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
 	g := res.Graph
 	st := g.Stats()
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n, err := g.WriteTo(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, n)
+	}
 
 	fmt.Printf("scale: %s  seed: %d\n", *scale, *seed)
 	fmt.Printf("sessions: %d  interactions: %d\n", len(logs.Sessions), logs.NumInteractions())

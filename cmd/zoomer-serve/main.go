@@ -5,6 +5,16 @@
 // Usage:
 //
 //	zoomer-serve -scale small -qps 1000,5000,20000 -duration 500ms
+//
+// With -remote the graph store is a cluster of zoomer-shard servers
+// instead of in-process partitions; the shard servers must be started
+// with the same -scale/-seed/-shards/-partition so they serve the
+// identical graph (the engine's reads are then bit-identical — the
+// loopback equivalence tests pin that down):
+//
+//	zoomer-shard -scale small -seed 1 -shards 4 -own 0,1 -listen :7001 &
+//	zoomer-shard -scale small -seed 1 -shards 4 -own 2,3 -listen :7002 &
+//	zoomer-serve -scale small -seed 1 -remote localhost:7001,localhost:7002
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"zoomer/internal/graphbuild"
 	"zoomer/internal/loggen"
 	"zoomer/internal/partition"
+	"zoomer/internal/rpc"
 	"zoomer/internal/serve"
 	"zoomer/internal/tensor"
 )
@@ -35,6 +46,7 @@ func main() {
 	shards := flag.Int("shards", 4, "graph engine partitions (capacity axis)")
 	replicas := flag.Int("replicas", 2, "replicas per shard (throughput axis)")
 	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
+	remote := flag.String("remote", "", "comma-separated zoomer-shard addresses (empty: in-process shards)")
 	trainSteps := flag.Int("train", 100, "warm-up training steps before export")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
@@ -79,10 +91,32 @@ func main() {
 
 	fmt.Println("exporting serving weights and building index...")
 	emb := serve.NewEmbedder(model.ExportServing())
-	eng := engine.New(g, engine.Config{Shards: *shards, Replicas: *replicas, Strategy: strat})
+	var eng *engine.Engine
+	if *remote != "" {
+		addrs := strings.Split(*remote, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		cluster, err := rpc.DialCluster(addrs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		if cluster.Info.NumNodes != g.NumNodes() {
+			fmt.Fprintf(os.Stderr, "remote cluster serves %d nodes, local world has %d — start zoomer-shard with the same -scale/-seed\n",
+				cluster.Info.NumNodes, g.NumNodes())
+			os.Exit(1)
+		}
+		eng = cluster.Engine
+		fmt.Printf("engine: %d remote shards (%s partitioning) behind %d servers\n",
+			eng.NumShards(), cluster.Info.Strategy, len(addrs))
+	} else {
+		eng = engine.New(g, engine.Config{Shards: *shards, Replicas: *replicas, Strategy: strat})
+	}
 	st := eng.Stats()
-	fmt.Printf("engine: %d shards x %d replicas (%s partitioning), nodes/shard %v, edges/shard %v\n",
-		st.Shards, st.Replicas, strat, st.NodesPerShard, st.EdgesPerShard)
+	fmt.Printf("engine: %d shards x %d replicas, nodes/shard %v, edges/shard %v\n",
+		st.Shards, st.Replicas, st.NodesPerShard, st.EdgesPerShard)
 	cache := serve.NewNeighborCache(eng, *cacheK, *seed+3)
 	defer cache.Close()
 

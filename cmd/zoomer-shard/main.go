@@ -1,0 +1,111 @@
+// Command zoomer-shard runs one graph shard server: it builds (or loads)
+// the graph, partitions it, precomputes alias tables for the shards it
+// owns, and serves them over TCP with the internal/rpc protocol — the
+// server side of the paper's distributed graph engine (§VI). A serving
+// tier started with the same world parameters connects with
+// zoomer-serve -remote.
+//
+// Usage (a two-server cluster over four partitions):
+//
+//	zoomer-shard -scale small -seed 1 -shards 4 -own 0,1 -listen :7001 &
+//	zoomer-shard -scale small -seed 1 -shards 4 -own 2,3 -listen :7002 &
+//	zoomer-serve -scale small -seed 1 -remote localhost:7001,localhost:7002
+//
+// With -graph the graph is loaded from a compact binary file (graphgen
+// -out) instead of regenerated, so every server — and the serving tier —
+// is guaranteed the identical graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
+	"zoomer/internal/rpc"
+)
+
+func main() {
+	listen := flag.String("listen", ":7001", "TCP address to serve on")
+	graphFile := flag.String("graph", "", "load the graph from this binary file instead of generating")
+	scale := flag.String("scale", "small", "generated world size: tiny | small | medium | large")
+	seed := flag.Uint64("seed", 1, "world seed (must match the serving tier's)")
+	shards := flag.Int("shards", 4, "total graph partitions")
+	own := flag.String("own", "", "comma-separated shard ids this server owns (default: all)")
+	replicas := flag.Int("replicas", 2, "replicas per owned shard")
+	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
+	flag.Parse()
+
+	strat, err := partition.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var owned []int
+	if *own != "" {
+		for _, s := range strings.Split(*own, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bad -own entry %q: %v\n", s, err)
+				os.Exit(2)
+			}
+			owned = append(owned, id)
+		}
+	}
+
+	var g *graph.Graph
+	if *graphFile != "" {
+		f, err := os.Open(*graphFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g, err = graph.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading %s: %v\n", *graphFile, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded graph from %s: %d nodes, %d edges\n", *graphFile, g.NumNodes(), g.NumEdges())
+	} else {
+		scales := map[string]loggen.Scale{
+			"tiny": loggen.ScaleTiny, "small": loggen.ScaleSmall,
+			"medium": loggen.ScaleMedium, "large": loggen.ScaleLarge,
+		}
+		sc, ok := scales[*scale]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+			os.Exit(2)
+		}
+		fmt.Printf("building world (scale %s, seed %d)...\n", *scale, *seed)
+		logs := loggen.MustGenerate(loggen.TaobaoConfig(sc, *seed))
+		g = graphbuild.Build(logs, graphbuild.DefaultConfig()).Graph
+	}
+
+	fmt.Printf("partitioning into %d shards (%s) and building alias tables...\n", *shards, strat)
+	srv := rpc.NewServer(g, rpc.ServerConfig{
+		Shards:   *shards,
+		Strategy: strat,
+		Owned:    owned,
+		Replicas: *replicas,
+	})
+	if err := srv.ListenAndServe(*listen); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving shards %v of %d on %s (%d replicas each)\n",
+		srv.OwnedShards(), *shards, srv.Addr(), *replicas)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}

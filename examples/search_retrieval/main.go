@@ -62,7 +62,10 @@ func main() {
 		for _, ev := range s.Events {
 			u := res.Mapping.UserNode(s.User)
 			q := res.Mapping.QueryNode(ev.Query)
-			uq := emb.UserQuery(u, q, cache.Get(u, r), cache.Get(q, r), nil)
+			eu, eq2 := cache.Get(u, r), cache.Get(q, r)
+			uq := emb.UserQuery(u, q, eu.Neighbors(), eq2.Neighbors(), nil)
+			eu.Release()
+			eq2.Release()
 			top := index.Search(uq, 5, 4)
 			fmt.Printf("user %d query %d ->", s.User, ev.Query)
 			for _, t := range top {

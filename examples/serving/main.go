@@ -3,12 +3,17 @@
 // offered load and watch response time climb as the worker pool
 // saturates. The graph sits behind the partitioned engine: -shards /
 // -replicas size the store, and the sweep prints how load spreads over
-// the shards.
+// the shards. With -remote the partitions are served by two in-process
+// TCP shard servers and the serving tier talks to them over loopback —
+// the full distributed deployment in one binary, returning bit-identical
+// samples to the in-process engine.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"os"
 	"time"
 
 	"zoomer/internal/ann"
@@ -17,6 +22,7 @@ import (
 	"zoomer/internal/graph"
 	"zoomer/internal/graphbuild"
 	"zoomer/internal/loggen"
+	"zoomer/internal/rpc"
 	"zoomer/internal/serve"
 	"zoomer/internal/tensor"
 )
@@ -24,6 +30,7 @@ import (
 func main() {
 	shards := flag.Int("shards", 4, "graph engine partitions")
 	replicas := flag.Int("replicas", 2, "replicas per shard")
+	remote := flag.Bool("remote", false, "serve the shards over loopback TCP instead of in-process")
 	flag.Parse()
 
 	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 31))
@@ -37,7 +44,38 @@ func main() {
 	// Untrained weights are fine: serving latency is weight-independent.
 
 	emb := serve.NewEmbedder(model.ExportServing())
-	eng := engine.New(g, engine.Config{Shards: *shards, Replicas: *replicas})
+	var eng *engine.Engine
+	if *remote {
+		// Two shard servers splitting the partitions, exactly as separate
+		// zoomer-shard processes would.
+		half := (*shards + 1) / 2
+		var addrs []string
+		for _, owned := range [][]int{seq(0, half), seq(half, *shards)} {
+			if len(owned) == 0 {
+				continue
+			}
+			srv := rpc.NewServer(g, rpc.ServerConfig{Shards: *shards, Owned: owned, Replicas: *replicas})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			srv.Start(ln)
+			defer srv.Close()
+			addrs = append(addrs, ln.Addr().String())
+		}
+		cluster, err := rpc.DialCluster(addrs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		eng = cluster.Engine
+		fmt.Printf("engine: %d remote shards behind %d loopback servers %v\n",
+			eng.NumShards(), len(addrs), addrs)
+	} else {
+		eng = engine.New(g, engine.Config{Shards: *shards, Replicas: *replicas})
+	}
 	es := eng.Stats()
 	fmt.Printf("engine: %d shards x %d replicas, nodes/shard %v\n",
 		es.Shards, es.Replicas, es.NodesPerShard)
@@ -78,4 +116,13 @@ func main() {
 	fmt.Printf("cache: %d hits / %d misses / %d async refreshes\n", hits, misses, refreshes)
 	final := eng.Stats()
 	fmt.Printf("engine: per-shard requests %v (imbalance %.2f)\n", final.RequestsPerShard, final.Imbalance)
+}
+
+// seq returns [lo, hi) as a slice.
+func seq(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		out = append(out, i)
+	}
+	return out
 }

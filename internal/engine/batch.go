@@ -15,7 +15,7 @@ import (
 type BatchScratch struct {
 	counts []int32
 	order  []int32
-	sub    rng.RNG // reseeded per batch entry; zero value fine (always reseeded)
+	gids   []graph.NodeID // entry node ids reordered by owning shard
 
 	// SampleTree buffers: the flat tree, the current frontier and the
 	// batch-draw output it expands into.
@@ -36,7 +36,7 @@ func (bs *BatchScratch) orNew() *BatchScratch {
 	return bs
 }
 
-func (bs *BatchScratch) groupBufs(entries, shards int) (counts, order []int32) {
+func (bs *BatchScratch) groupBufs(entries, shards int) (counts, order []int32, gids []graph.NodeID) {
 	if cap(bs.counts) < shards+1 {
 		bs.counts = make([]int32, shards+1)
 	}
@@ -46,9 +46,11 @@ func (bs *BatchScratch) groupBufs(entries, shards int) (counts, order []int32) {
 	}
 	if cap(bs.order) < entries {
 		bs.order = make([]int32, entries)
+		bs.gids = make([]graph.NodeID, entries)
 	}
 	bs.order = bs.order[:entries]
-	return bs.counts, bs.order
+	bs.gids = bs.gids[:entries]
+	return bs.counts, bs.order, bs.gids
 }
 
 // entrySeed derives the deterministic RNG seed of batch entry i from the
@@ -66,26 +68,32 @@ func entrySeed(base uint64, i int) uint64 {
 //
 // This is the scatter-gather layer: entries are grouped by owning shard
 // with a counting sort and each shard is visited exactly once — one
-// replica is picked and charged per shard per batch, and in an RPC
-// deployment each visit would be a single round trip. One value is
+// replica is picked and charged per shard per batch, and over a remote
+// backend each visit is exactly one RPC round trip. One value is
 // consumed from r as the batch base; every entry then draws from its own
-// derived sub-stream, so results are deterministic given (r state, ids,
-// k) and independent of how the graph is partitioned.
+// derived sub-stream shard-side, so results are deterministic given
+// (r state, ids, k) and independent of how the graph is partitioned or
+// which shards sit behind the network.
 //
 // out must hold at least len(ids)*k entries and ns at least len(ids);
 // the call panics otherwise. With a non-nil bs the call performs no heap
-// allocation at steady state.
-func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph.NodeID, ns []int32, r *rng.RNG, bs *BatchScratch) int {
+// allocation at steady state over in-process shards.
+//
+// On a backend failure (a remote shard down mid-batch) every count in ns
+// is zeroed and a typed error — satisfying
+// errors.Is(err, rpc.ErrShardUnavailable) for transport failures — is
+// returned: no partial results survive.
+func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph.NodeID, ns []int32, r *rng.RNG, bs *BatchScratch) (int, error) {
 	if k <= 0 {
 		// Zero the counts so callers reading ns see "no draws" rather
 		// than stale values from a previous batch on the same buffers.
 		for i := range ids {
 			ns[i] = 0
 		}
-		return 0
+		return 0, nil
 	}
 	if len(ids) == 0 {
-		return 0
+		return 0, nil
 	}
 	if len(out) < len(ids)*k || len(ns) < len(ids) {
 		panic(fmt.Sprintf("engine: batch buffers %d/%d for %d ids × k=%d", len(out), len(ns), len(ids), k))
@@ -93,45 +101,40 @@ func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph
 	bs = bs.orNew()
 	base := r.Uint64()
 
-	// Counting sort entry indices by owning shard.
-	counts, order := bs.groupBufs(len(ids), len(e.shards))
+	// Counting sort entry indices (and their node ids) by owning shard.
+	counts, order, gids := bs.groupBufs(len(ids), len(e.backends))
 	for _, id := range ids {
-		counts[e.part.Owner(id)+1]++
+		counts[e.routing.Owner(id)+1]++
 	}
 	for s := 1; s < len(counts); s++ {
 		counts[s] += counts[s-1]
 	}
 	for i, id := range ids {
-		sh := e.part.Owner(id)
+		sh := e.routing.Owner(id)
 		order[counts[sh]] = int32(i)
+		gids[counts[sh]] = id
 		counts[sh]++
 	}
 
 	// One visit per shard: counts[s] is now the end of shard s's group.
 	total := 0
 	start := int32(0)
-	for si, s := range e.shards {
+	for si, be := range e.backends {
 		end := counts[si]
 		if end == start {
 			continue
 		}
-		group := order[start:end]
-		s.pick().requests.Add(int64(len(group)))
-		for _, i := range group {
-			li := e.part.Local(ids[i])
-			lo, hi := s.store.Offsets[li], s.store.Offsets[li+1]
-			if lo == hi {
+		n, err := be.SampleBatchInto(gids[start:end], order[start:end], base, k, out, ns)
+		if err != nil {
+			for i := range ids {
 				ns[i] = 0
-				continue
 			}
-			bs.sub.Reseed(entrySeed(base, int(i)))
-			s.sampleLocal(lo, hi, out[int(i)*k:(int(i)+1)*k], &bs.sub)
-			ns[i] = int32(k)
-			total += k
+			return 0, fmt.Errorf("engine: batch visit to shard %d: %w", si, err)
 		}
+		total += n
 		start = end
 	}
-	return total
+	return total, nil
 }
 
 // TreeNode is one entry of the flat breadth-first expansion SampleTree
@@ -150,13 +153,15 @@ type TreeNode struct {
 //
 // The returned slice is backed by bs (valid until its next SampleTree
 // call) and the expansion is deterministic given (r state, ego, hops, k),
-// independent of shard count and partition strategy. With a non-nil bs
-// steady-state construction performs no heap allocation.
-func (e *Engine) SampleTree(ego graph.NodeID, hops, k int, r *rng.RNG, bs *BatchScratch) []TreeNode {
+// independent of shard count, partition strategy and process boundaries.
+// With a non-nil bs steady-state construction performs no heap allocation
+// over in-process shards. A backend failure aborts the expansion with a
+// nil tree and the typed batch error — no partial tree survives.
+func (e *Engine) SampleTree(ego graph.NodeID, hops, k int, r *rng.RNG, bs *BatchScratch) ([]TreeNode, error) {
 	bs = bs.orNew()
 	bs.tree = append(bs.tree[:0], TreeNode{ID: ego, Parent: -1})
 	if k <= 0 {
-		return bs.tree
+		return bs.tree, nil
 	}
 	start, end := 0, 1
 	for h := 0; h < hops && start < end; h++ {
@@ -173,7 +178,9 @@ func (e *Engine) SampleTree(ego graph.NodeID, hops, k int, r *rng.RNG, bs *Batch
 			bs.ns = make([]int32, len(bs.frontier))
 		}
 		bs.ns = bs.ns[:len(bs.frontier)]
-		e.SampleNeighborsBatchInto(bs.frontier, k, bs.children, bs.ns, r, bs)
+		if _, err := e.SampleNeighborsBatchInto(bs.frontier, k, bs.children, bs.ns, r, bs); err != nil {
+			return nil, fmt.Errorf("engine: tree hop %d: %w", h, err)
+		}
 		for fi := range bs.frontier {
 			parent := int32(start + fi)
 			for j := int32(0); j < bs.ns[fi]; j++ {
@@ -182,5 +189,5 @@ func (e *Engine) SampleTree(ego graph.NodeID, hops, k int, r *rng.RNG, bs *Batch
 		}
 		start, end = end, len(bs.tree)
 	}
-	return bs.tree
+	return bs.tree, nil
 }

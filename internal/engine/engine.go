@@ -10,17 +10,25 @@
 // to the owning shard with one arithmetic or array-index lookup, and
 // multi-node calls (cache refresh batches, SampleTree frontiers) are
 // scatter-gathered so each shard is visited exactly once per batch. Both
-// the Engine and the in-process Shard implement GraphService — the seam
-// where an RPC-backed shard would plug in: the routing layer would hold
-// client stubs instead of local shards, and each per-shard batch visit
-// would become one RPC.
+// the Engine and the in-process Shard implement GraphService, and the
+// Engine holds its per-shard stores behind the ShardBackend interface —
+// the seam where an RPC-backed shard plugs in (internal/rpc.RemoteShard):
+// NewWithBackends accepts any mix of local *Shards and remote stubs, and
+// each per-shard batch visit maps onto exactly one RPC round trip.
 //
 // The hot path is lock- and allocation-free: routing is O(1) arithmetic,
 // every shard's alias arrays are immutable after New and read without
 // locks, and SampleNeighborsInto / SampleNeighborsBatchInto write into
-// caller-owned buffers. In the paper the shards live on separate servers;
-// here each replica is an independently counted region served in-process,
-// so load-spreading effects are real while the network is not.
+// caller-owned buffers. Shards either live in-process (each replica an
+// independently counted region, as in the single-box benchmarks) or on
+// separate shard servers over TCP, exactly as in the paper's deployment.
+//
+// Error contract: batch calls (SampleNeighborsBatchInto, SampleTree) and
+// TrySampleNeighborsInto return transport failures as typed errors with
+// no partial-result corruption. The error-free GraphService surface
+// (Neighbors, Features, Content, SampleNeighborsInto) panics on a remote
+// transport failure — it exists for in-process use and for healthy
+// clusters; fault-tolerant callers go through the error-returning calls.
 package engine
 
 import (
@@ -47,10 +55,41 @@ type GraphService interface {
 	Content(id graph.NodeID) tensor.Vec
 }
 
-// Both the routing layer and the in-process shard serve the same surface.
+// ShardBackend is one partition's store as the routing layer sees it:
+// the GraphService read surface with explicit error returns (a remote
+// store can fail; the in-process *Shard never does) plus the group call
+// the scatter-gather batch path issues — one SampleBatchInto per owning
+// shard per batch, which an RPC backend serves in one round trip.
+//
+// SampleBatchInto's contract: entry j is node gids[j] at global batch
+// index idx[j]; its k draws go to out[idx[j]*k:(idx[j]+1)*k] and its
+// count (k, or 0 for an isolated node) to ns[idx[j]], drawing from the
+// sub-stream derived from (base, idx[j]) so results are bit-identical
+// however entries are grouped. On error the backend's writes to out/ns
+// are unspecified; the Engine re-zeroes ns before surfacing the error.
+type ShardBackend interface {
+	SampleInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error)
+	SampleBatchInto(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (int, error)
+	NeighborsOf(id graph.NodeID) ([]graph.Edge, error)
+	FeaturesOf(id graph.NodeID) ([]int32, error)
+	ContentOf(id graph.NodeID) (tensor.Vec, error)
+}
+
+// BackendStats is optionally implemented by backends that can report
+// their served-request count and partition size (remote stubs do, from
+// their client-side counter and the server handshake); Stats folds these
+// into its per-shard view.
+type BackendStats interface {
+	Requests() int64
+	ShardSize() (nodes, edges int)
+}
+
+// Both the routing layer and the in-process shard serve the same surface,
+// and the in-process shard is a (never-failing) backend.
 var (
 	_ GraphService = (*Engine)(nil)
 	_ GraphService = (*Shard)(nil)
+	_ ShardBackend = (*Shard)(nil)
 )
 
 // Config sizes the engine.
@@ -65,40 +104,96 @@ func DefaultConfig() Config { return Config{Shards: 4, Replicas: 2, Strategy: pa
 
 // Engine is the routing layer over the per-shard stores.
 type Engine struct {
-	g        *graph.Graph
-	part     *partition.Partition
-	shards   []*Shard
+	g        *graph.Graph // nil when every backend is remote
+	routing  *partition.Routing
+	backends []ShardBackend
+	locals   []*Shard // locals[i] non-nil iff backends[i] is in-process
 	replicas int
+
+	numNodes   int
+	contentDim int
 }
 
-// New partitions g and builds one store per shard, precomputing every
-// owned adjacency's alias table into the shard's flat arrays with a
-// worker pool (up to GOMAXPROCS across all shards). It panics on
-// non-positive shard or replica counts.
+// New partitions g and builds one in-process store per shard,
+// precomputing every owned adjacency's alias table into the shard's flat
+// arrays with a worker pool (up to GOMAXPROCS across all shards). It
+// panics on non-positive shard or replica counts.
 func New(g *graph.Graph, cfg Config) *Engine {
 	if cfg.Shards <= 0 || cfg.Replicas <= 0 {
 		panic(fmt.Sprintf("engine: invalid config %+v", cfg))
 	}
 	part := partition.Split(g, cfg.Shards, cfg.Strategy)
-	e := &Engine{g: g, part: part, replicas: cfg.Replicas}
-	e.shards = make([]*Shard, cfg.Shards)
-	for i := range e.shards {
-		e.shards[i] = newShard(i, part, cfg.Replicas)
+	e := &Engine{
+		g:          g,
+		routing:    part.RoutingTable(),
+		replicas:   cfg.Replicas,
+		numNodes:   g.NumNodes(),
+		contentDim: g.ContentDim(),
 	}
-	e.buildTables()
+	e.locals = make([]*Shard, cfg.Shards)
+	e.backends = make([]ShardBackend, cfg.Shards)
+	for i := range e.locals {
+		e.locals[i] = newShard(i, part, cfg.Replicas)
+		e.backends[i] = e.locals[i]
+	}
+	buildShardTables(e.locals)
 	return e
 }
 
-// buildTables precomputes each shard's alias arrays concurrently: shards
-// build in parallel, and a shard's node range is further chunked so the
-// pool keeps GOMAXPROCS workers busy even with few shards.
-func (e *Engine) buildTables() {
+// NewWithBackends assembles the routing layer over pre-built stores — any
+// mix of in-process *Shards (BuildShard) and remote stubs
+// (internal/rpc.RemoteShard). routing is the partition's table (fetched
+// from a shard server or built locally); contentDim describes the graph
+// behind the backends (reported by the server handshake). The engine has
+// no local *graph.Graph: Graph() returns nil and whole-graph offline
+// access is unavailable, exactly as for a serving client in the paper's
+// deployment.
+func NewWithBackends(routing *partition.Routing, backends []ShardBackend, contentDim int) *Engine {
+	if routing.NumShards() != len(backends) {
+		panic(fmt.Sprintf("engine: %d backends for %d shards", len(backends), routing.NumShards()))
+	}
+	e := &Engine{
+		routing:    routing,
+		backends:   backends,
+		locals:     make([]*Shard, len(backends)),
+		replicas:   1,
+		numNodes:   routing.NumNodes(),
+		contentDim: contentDim,
+	}
+	for i, be := range backends {
+		if s, ok := be.(*Shard); ok {
+			e.locals[i] = s
+			if len(s.replicas) > e.replicas {
+				e.replicas = len(s.replicas)
+			}
+		}
+	}
+	return e
+}
+
+// BuildShard constructs the in-process store for one partition of part
+// and precomputes its alias tables (parallel across GOMAXPROCS chunks).
+// Shard servers use it to build only the partitions they own.
+func BuildShard(part *partition.Partition, id, replicas int) *Shard {
+	if id < 0 || id >= part.NumShards() || replicas <= 0 {
+		panic(fmt.Sprintf("engine: BuildShard(%d, %d) of %d shards", id, replicas, part.NumShards()))
+	}
+	s := newShard(id, part, replicas)
+	buildShardTables([]*Shard{s})
+	return s
+}
+
+// buildShardTables precomputes the given shards' alias arrays
+// concurrently: shards build in parallel, and a shard's node range is
+// further chunked so the pool keeps GOMAXPROCS workers busy even with few
+// shards.
+func buildShardTables(shards []*Shard) {
 	chunksPer := 1
-	if p := runtime.GOMAXPROCS(0); p > len(e.shards) {
-		chunksPer = (p + len(e.shards) - 1) / len(e.shards)
+	if p := runtime.GOMAXPROCS(0); p > len(shards) {
+		chunksPer = (p + len(shards) - 1) / len(shards)
 	}
 	var wg sync.WaitGroup
-	for _, s := range e.shards {
+	for _, s := range shards {
 		n := s.store.NumNodes()
 		chunk := (n + chunksPer - 1) / chunksPer
 		if chunk < 1 {
@@ -120,60 +215,91 @@ func (e *Engine) buildTables() {
 }
 
 // Graph returns the underlying immutable graph (whole-graph metadata and
-// offline access; serving reads go through the shards).
+// offline access; serving reads go through the shards). It is nil for an
+// engine assembled over remote backends.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
 // NumNodes returns the total node count across all shards.
-func (e *Engine) NumNodes() int { return e.g.NumNodes() }
+func (e *Engine) NumNodes() int { return e.numNodes }
 
 // ContentDim returns the dimensionality of content vectors.
-func (e *Engine) ContentDim() int { return e.g.ContentDim() }
+func (e *Engine) ContentDim() int { return e.contentDim }
 
 // NumShards returns the number of partitions.
-func (e *Engine) NumShards() int { return len(e.shards) }
+func (e *Engine) NumShards() int { return len(e.backends) }
+
+// Routing returns the node-to-shard routing table.
+func (e *Engine) Routing() *partition.Routing { return e.routing }
 
 // ShardOf returns the index of the shard owning id — the routing lookup,
 // O(1) arithmetic (hash partitioning) or one array read (degree-balanced).
-func (e *Engine) ShardOf(id graph.NodeID) int { return e.part.Owner(id) }
+func (e *Engine) ShardOf(id graph.NodeID) int { return e.routing.Owner(id) }
 
-// Shard returns the in-process store for one partition.
-func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+// Shard returns the in-process store for one partition, nil when that
+// partition is served by a remote backend.
+func (e *Engine) Shard(i int) *Shard { return e.locals[i] }
+
+// Backend returns partition i's store as the routing layer holds it.
+func (e *Engine) Backend(i int) ShardBackend { return e.backends[i] }
+
+// must surfaces a backend failure on the error-free GraphService surface;
+// see the package comment's error contract.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(fmt.Sprintf("engine: remote backend failed on the error-free GraphService surface: %v", err))
+	}
+	return v
+}
 
 // Neighbors returns the adjacency list of id, read from its owning
-// shard's CSR slice (immutable view; no lock needed).
+// shard's CSR slice (an immutable view in-process; a decoded copy from a
+// remote backend).
 func (e *Engine) Neighbors(id graph.NodeID) []graph.Edge {
-	return e.shards[e.part.Owner(id)].Neighbors(id)
+	return must(e.backends[e.routing.Owner(id)].NeighborsOf(id))
 }
 
 // Content returns the node's content vector from its owning shard.
 func (e *Engine) Content(id graph.NodeID) tensor.Vec {
-	return e.shards[e.part.Owner(id)].Content(id)
+	return must(e.backends[e.routing.Owner(id)].ContentOf(id))
 }
 
 // Features returns the node's categorical features from its owning shard.
 func (e *Engine) Features(id graph.NodeID) []int32 {
-	return e.shards[e.part.Owner(id)].Features(id)
+	return must(e.backends[e.routing.Owner(id)].FeaturesOf(id))
 }
 
 // SampleNeighbors draws k neighbors of id with replacement, weighted by
 // edge weight, in O(1) per draw via the owning shard's precomputed alias
 // table. An isolated node yields nil.
 func (e *Engine) SampleNeighbors(id graph.NodeID, k int, r *rng.RNG) []graph.NodeID {
-	sh := e.shards[e.part.Owner(id)]
-	if k <= 0 || sh.degree(id) == 0 {
+	if k <= 0 {
 		return nil
 	}
+	if sh := e.locals[e.routing.Owner(id)]; sh != nil && sh.degree(id) == 0 {
+		return nil // skip the allocation for a local isolated node
+	}
 	out := make([]graph.NodeID, k)
-	sh.SampleNeighborsInto(id, out, r)
+	if n := e.SampleNeighborsInto(id, out, r); n == 0 {
+		return nil
+	}
 	return out
 }
 
 // SampleNeighborsInto routes to the owning shard and fills out with
 // weighted neighbor draws of id (with replacement), returning the number
-// written: len(out), or 0 for an isolated node. It performs no heap
-// allocation and takes no locks — the steady-state serving path.
+// written: len(out), or 0 for an isolated node. Over in-process shards it
+// performs no heap allocation and takes no locks — the steady-state
+// serving path; over a remote backend it is one RPC round trip.
 func (e *Engine) SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) int {
-	return e.shards[e.part.Owner(id)].SampleNeighborsInto(id, out, r)
+	return must(e.backends[e.routing.Owner(id)].SampleInto(id, out, r))
+}
+
+// TrySampleNeighborsInto is SampleNeighborsInto surfacing transport
+// failures instead of panicking: on error 0 draws are reported, out is
+// unspecified and r is not consumed. The serving cache's synchronous miss
+// path uses it to degrade to an empty neighbor set during a shard outage.
+func (e *Engine) TrySampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error) {
+	return e.backends[e.routing.Owner(id)].SampleInto(id, out, r)
 }
 
 // Stats reports per-replica and per-shard request counts plus the static
@@ -191,28 +317,41 @@ type Stats struct {
 }
 
 // Stats snapshots load counters. CachedTables counts the precomputed
-// per-adjacency tables (every owned node with degree > 0).
+// per-adjacency tables (every owned node with degree > 0) of in-process
+// shards. A remote shard contributes its client-side request counter as a
+// single replica and the partition size its server reported (zeros when
+// the backend implements neither).
 func (e *Engine) Stats() Stats {
-	st := Stats{Shards: len(e.shards), Replicas: e.replicas}
+	st := Stats{Shards: len(e.backends), Replicas: e.replicas}
 	var total, maxShard int64
-	for _, s := range e.shards {
+	for i, be := range e.backends {
 		var perShard int64
-		for _, rep := range s.replicas {
-			c := rep.requests.Load()
-			st.RequestsPerRep = append(st.RequestsPerRep, c)
-			perShard += c
+		var nodes, edges int
+		if s := e.locals[i]; s != nil {
+			for _, rep := range s.replicas {
+				c := rep.requests.Load()
+				st.RequestsPerRep = append(st.RequestsPerRep, c)
+				perShard += c
+			}
+			nodes, edges = s.store.NumNodes(), s.store.NumEdges()
+			st.CachedTables += s.Tables()
+		} else if bs, ok := be.(BackendStats); ok {
+			perShard = bs.Requests()
+			st.RequestsPerRep = append(st.RequestsPerRep, perShard)
+			nodes, edges = bs.ShardSize()
+		} else {
+			st.RequestsPerRep = append(st.RequestsPerRep, 0)
 		}
 		st.RequestsPerShard = append(st.RequestsPerShard, perShard)
-		st.NodesPerShard = append(st.NodesPerShard, s.store.NumNodes())
-		st.EdgesPerShard = append(st.EdgesPerShard, s.store.NumEdges())
-		st.CachedTables += s.Tables()
+		st.NodesPerShard = append(st.NodesPerShard, nodes)
+		st.EdgesPerShard = append(st.EdgesPerShard, edges)
 		total += perShard
 		if perShard > maxShard {
 			maxShard = perShard
 		}
 	}
 	if total > 0 {
-		mean := float64(total) / float64(len(e.shards))
+		mean := float64(total) / float64(len(e.backends))
 		st.Imbalance = float64(maxShard) / mean
 	}
 	return st

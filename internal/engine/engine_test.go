@@ -215,7 +215,7 @@ func BenchmarkSampleTree(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = e.SampleTree(ego, 2, 10, r, bs)
+		_, _ = e.SampleTree(ego, 2, 10, r, bs)
 	}
 }
 

@@ -130,12 +130,18 @@ func TestSampleTreeMatchesSingleStore(t *testing.T) {
 		}
 	}
 	single := engines["single"]
-	want := single.SampleTree(ego, 2, 5, rng.New(55), NewBatchScratch())
+	want, err := single.SampleTree(ego, 2, 5, rng.New(55), NewBatchScratch())
+	if err != nil {
+		t.Fatalf("single-store tree: %v", err)
+	}
 	if len(want) <= 1 {
 		t.Fatalf("degenerate tree of %d nodes", len(want))
 	}
 	for name, e := range engines {
-		got := e.SampleTree(ego, 2, 5, rng.New(55), NewBatchScratch())
+		got, err := e.SampleTree(ego, 2, 5, rng.New(55), NewBatchScratch())
+		if err != nil {
+			t.Fatalf("%s: tree: %v", name, err)
+		}
 		if len(got) != len(want) {
 			t.Fatalf("%s: tree has %d nodes, single store %d", name, len(got), len(want))
 		}
@@ -155,7 +161,10 @@ func TestSampleTreeEdgesAreReal(t *testing.T) {
 	bs := NewBatchScratch()
 	for trial := 0; trial < 20; trial++ {
 		ego := graph.NodeID(r.Intn(g.NumNodes()))
-		tree := e.SampleTree(ego, 2, 4, r, bs)
+		tree, err := e.SampleTree(ego, 2, 4, r, bs)
+		if err != nil {
+			t.Fatalf("tree: %v", err)
+		}
 		if tree[0].ID != ego || tree[0].Parent != -1 {
 			t.Fatalf("bad root %+v", tree[0])
 		}
@@ -189,11 +198,14 @@ func TestSampleTreeNonPositiveKOnReusedScratch(t *testing.T) {
 		}
 	}
 	bs := NewBatchScratch()
-	if tree := e.SampleTree(ego, 2, 5, rng.New(1), bs); len(tree) <= 1 {
+	if tree, err := e.SampleTree(ego, 2, 5, rng.New(1), bs); err != nil || len(tree) <= 1 {
 		t.Fatalf("warm-up tree has %d nodes", len(tree))
 	}
 	for _, k := range []int{0, -3} {
-		tree := e.SampleTree(ego, 2, k, rng.New(2), bs)
+		tree, err := e.SampleTree(ego, 2, k, rng.New(2), bs)
+		if err != nil {
+			t.Fatalf("k=%d: tree: %v", k, err)
+		}
 		if len(tree) != 1 || tree[0].ID != ego {
 			t.Fatalf("k=%d: tree %+v, want root only", k, tree)
 		}
@@ -201,7 +213,7 @@ func TestSampleTreeNonPositiveKOnReusedScratch(t *testing.T) {
 	// The batch call itself must also report zero draws, not stale ones.
 	ids := []graph.NodeID{ego, ego}
 	ns := []int32{7, 7}
-	if n := e.SampleNeighborsBatchInto(ids, 0, nil, ns, rng.New(3), bs); n != 0 {
+	if n, err := e.SampleNeighborsBatchInto(ids, 0, nil, ns, rng.New(3), bs); err != nil || n != 0 {
 		t.Fatalf("k=0 batch wrote %d", n)
 	}
 	if ns[0] != 0 || ns[1] != 0 {
@@ -299,8 +311,8 @@ func TestScatterGatherConcurrency(t *testing.T) {
 						}
 					}
 				}
-				tree := e.SampleTree(ids[0], 2, 3, r, bs)
-				if tree[0].ID != ids[0] {
+				tree, err := e.SampleTree(ids[0], 2, 3, r, bs)
+				if err != nil || tree[0].ID != ids[0] {
 					t.Error("tree root mismatch")
 					return
 				}

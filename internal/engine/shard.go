@@ -140,6 +140,51 @@ func (s *Shard) SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.
 	return len(out)
 }
 
+// The in-process shard is a ShardBackend that never fails: the error
+// returns exist so the routing layer can hold local shards and remote
+// stubs behind one interface.
+
+// SampleInto is SampleNeighborsInto with the ShardBackend signature.
+func (s *Shard) SampleInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error) {
+	return s.SampleNeighborsInto(id, out, r), nil
+}
+
+// SampleBatchInto serves one scatter-gather group: entry j is node
+// gids[j] at global batch index idx[j], drawing k weighted neighbors from
+// the sub-stream derived from (base, idx[j]) into out[idx[j]*k:...] with
+// the count in ns[idx[j]]. One replica is charged for the whole visit
+// with the group size as its load. The derived-RNG contract makes the
+// result independent of grouping, so a remote backend serving the same
+// partition returns bit-identical draws. No heap allocation.
+func (s *Shard) SampleBatchInto(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (int, error) {
+	s.pick().requests.Add(int64(len(gids)))
+	var sub rng.RNG
+	total := 0
+	for j, id := range gids {
+		i := int(idx[j])
+		li := s.part.Local(id)
+		lo, hi := s.store.Offsets[li], s.store.Offsets[li+1]
+		if lo == hi {
+			ns[i] = 0
+			continue
+		}
+		sub.Reseed(entrySeed(base, i))
+		s.sampleLocal(lo, hi, out[i*k:(i+1)*k], &sub)
+		ns[i] = int32(k)
+		total += k
+	}
+	return total, nil
+}
+
+// NeighborsOf is Neighbors with the ShardBackend signature.
+func (s *Shard) NeighborsOf(id graph.NodeID) ([]graph.Edge, error) { return s.Neighbors(id), nil }
+
+// FeaturesOf is Features with the ShardBackend signature.
+func (s *Shard) FeaturesOf(id graph.NodeID) ([]int32, error) { return s.Features(id), nil }
+
+// ContentOf is Content with the ShardBackend signature.
+func (s *Shard) ContentOf(id graph.NodeID) (tensor.Vec, error) { return s.Content(id), nil }
+
 // sampleLocal draws len(out) alias samples from the adjacency spanning
 // [lo, hi) in the shard's edge array. Callers have already charged a
 // replica for the visit.

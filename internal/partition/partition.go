@@ -15,6 +15,7 @@
 package partition
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"zoomer/internal/graph"
@@ -74,17 +75,31 @@ func (s *Shard) NumNodes() int { return len(s.Nodes) }
 // NumEdges returns the number of edges this shard stores.
 func (s *Shard) NumEdges() int { return len(s.Edges) }
 
+// Routing is the node-to-shard lookup table — everything a client (local
+// routing layer or remote stub pool) needs to direct a request to the
+// owning shard. Under Hash it is pure arithmetic and carries no per-node
+// state; under DegreeBalanced it is two int32 arrays indexed by node id.
+// It serializes compactly (MarshalBinary/UnmarshalBinary) so shard
+// servers can hand the table to connecting clients over the wire.
+type Routing struct {
+	strategy Strategy
+	shards   int
+	numNodes int
+	// nil under Hash where routing is arithmetic.
+	owner []int32
+	local []int32
+}
+
 // Partition is the result of splitting a graph: per-shard stores and the
 // routing table mapping a global node id to (owner shard, local index).
 type Partition struct {
-	strategy Strategy
-	shards   int
-	// Routing table, nil under Hash where routing is arithmetic.
-	owner []int32
-	local []int32
+	Routing
 	// Per-shard stores.
 	Shards []Shard
 }
+
+// RoutingTable returns the partition's routing table (shared, read-only).
+func (p *Partition) RoutingTable() *Routing { return &p.Routing }
 
 // Split partitions g into the given number of shards. It panics on a
 // non-positive shard count.
@@ -92,8 +107,11 @@ func Split(g *graph.Graph, shards int, strategy Strategy) *Partition {
 	if shards <= 0 {
 		panic(fmt.Sprintf("partition: non-positive shard count %d", shards))
 	}
-	p := &Partition{strategy: strategy, shards: shards, Shards: make([]Shard, shards)}
 	n := g.NumNodes()
+	p := &Partition{
+		Routing: Routing{strategy: strategy, shards: shards, numNodes: n},
+		Shards:  make([]Shard, shards),
+	}
 	switch strategy {
 	case Hash:
 		// owner = id % shards, local = id / shards: no table needed.
@@ -181,24 +199,138 @@ func assignDegreeBalanced(g *graph.Graph, shards int, owner []int32) {
 }
 
 // NumShards returns the shard count.
-func (p *Partition) NumShards() int { return p.shards }
+func (r *Routing) NumShards() int { return r.shards }
+
+// NumNodes returns the node count of the partitioned graph.
+func (r *Routing) NumNodes() int { return r.numNodes }
 
 // Strategy returns the assignment strategy used.
-func (p *Partition) Strategy() Strategy { return p.strategy }
+func (r *Routing) Strategy() Strategy { return r.strategy }
 
 // Owner returns the shard owning id: modular arithmetic under Hash, one
 // array read under DegreeBalanced. It performs no allocation.
-func (p *Partition) Owner(id graph.NodeID) int {
-	if p.owner == nil {
-		return int(uint32(id)) % p.shards
+func (r *Routing) Owner(id graph.NodeID) int {
+	if r.owner == nil {
+		return int(uint32(id)) % r.shards
 	}
-	return int(p.owner[id])
+	return int(r.owner[id])
 }
 
 // Local returns id's index within its owner shard's store.
-func (p *Partition) Local(id graph.NodeID) int32 {
-	if p.local == nil {
-		return int32(uint32(id) / uint32(p.shards))
+func (r *Routing) Local(id graph.NodeID) int32 {
+	if r.local == nil {
+		return int32(uint32(id) / uint32(r.shards))
 	}
-	return p.local[id]
+	return r.local[id]
+}
+
+// The routing-table wire format: a magic header, then strategy, shard
+// count, node count and a table-presence flag, then (when present) the
+// owner and local arrays. All integers little-endian uint32.
+const (
+	routingMagic   = 0x5a4d5252 // "ZMRR"
+	routingVersion = 1
+)
+
+// MarshalBinary serializes the routing table. Hash tables are 24 bytes
+// regardless of graph size; DegreeBalanced tables carry 8 bytes per node.
+func (r *Routing) MarshalBinary() ([]byte, error) {
+	size := 6 * 4
+	if r.owner != nil {
+		size += 8 * r.numNodes
+	}
+	buf := make([]byte, 0, size)
+	put := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	put(routingMagic)
+	put(routingVersion)
+	put(uint32(r.strategy))
+	put(uint32(r.shards))
+	put(uint32(r.numNodes))
+	if r.owner == nil {
+		put(0)
+		return buf, nil
+	}
+	put(1)
+	for _, v := range r.owner {
+		put(uint32(v))
+	}
+	for _, v := range r.local {
+		put(uint32(v))
+	}
+	return buf, nil
+}
+
+// UnmarshalRouting deserializes a table written by MarshalBinary.
+func UnmarshalRouting(data []byte) (*Routing, error) {
+	off := 0
+	get := func() (uint32, error) {
+		if off+4 > len(data) {
+			return 0, fmt.Errorf("partition: truncated routing table at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		return v, nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if magic != routingMagic {
+		return nil, fmt.Errorf("partition: bad routing magic %#x", magic)
+	}
+	version, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if version != routingVersion {
+		return nil, fmt.Errorf("partition: unsupported routing version %d", version)
+	}
+	strat, err := get()
+	if err != nil {
+		return nil, err
+	}
+	shards, err := get()
+	if err != nil {
+		return nil, err
+	}
+	numNodes, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if shards == 0 || shards > 1<<20 || numNodes > 1<<31-2 {
+		return nil, fmt.Errorf("partition: implausible routing shape shards=%d nodes=%d", shards, numNodes)
+	}
+	hasTable, err := get()
+	if err != nil {
+		return nil, err
+	}
+	r := &Routing{strategy: Strategy(strat), shards: int(shards), numNodes: int(numNodes)}
+	if hasTable == 0 {
+		return r, nil
+	}
+	// Check the payload actually carries the table before allocating
+	// numNodes-sized arrays from an attacker-controlled header.
+	if int64(len(data)-off) < 8*int64(numNodes) {
+		return nil, fmt.Errorf("partition: routing table truncated: %d bytes for %d nodes", len(data)-off, numNodes)
+	}
+	r.owner = make([]int32, numNodes)
+	r.local = make([]int32, numNodes)
+	for i := range r.owner {
+		v, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if v >= shards {
+			return nil, fmt.Errorf("partition: node %d routed to shard %d of %d", i, v, shards)
+		}
+		r.owner[i] = int32(v)
+	}
+	for i := range r.local {
+		v, err := get()
+		if err != nil {
+			return nil, err
+		}
+		r.local[i] = int32(v)
+	}
+	return r, nil
 }

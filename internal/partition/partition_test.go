@@ -156,3 +156,37 @@ func TestMoreShardsThanNodes(t *testing.T) {
 		}
 	}
 }
+
+// The routing table must survive serialization bit-for-bit: a client
+// reconstructing it from the wire must route every node to the same
+// (owner, local) pair as the server that built the partition.
+func TestRoutingSerializationRoundTrip(t *testing.T) {
+	g := buildGraph(t)
+	for _, strat := range []Strategy{Hash, DegreeBalanced} {
+		for _, shards := range []int{1, 3, 4} {
+			p := Split(g, shards, strat)
+			blob, err := p.RoutingTable().MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s/%d: marshal: %v", strat, shards, err)
+			}
+			r, err := UnmarshalRouting(blob)
+			if err != nil {
+				t.Fatalf("%s/%d: unmarshal: %v", strat, shards, err)
+			}
+			if r.NumShards() != shards || r.Strategy() != strat || r.NumNodes() != g.NumNodes() {
+				t.Fatalf("%s/%d: shape mismatch %d/%s/%d", strat, shards, r.NumShards(), r.Strategy(), r.NumNodes())
+			}
+			for id := 0; id < g.NumNodes(); id++ {
+				nid := graph.NodeID(id)
+				if r.Owner(nid) != p.Owner(nid) || r.Local(nid) != p.Local(nid) {
+					t.Fatalf("%s/%d: node %d routes to (%d,%d), want (%d,%d)",
+						strat, shards, id, r.Owner(nid), r.Local(nid), p.Owner(nid), p.Local(nid))
+				}
+			}
+		}
+	}
+	// Corrupt header must be rejected, not crash.
+	if _, err := UnmarshalRouting([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated routing table accepted")
+	}
+}

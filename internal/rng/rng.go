@@ -66,6 +66,16 @@ func (r *RNG) Reseed(seed uint64) {
 	}
 }
 
+// State snapshots the generator's internal state. Together with SetState
+// it lets the RPC graph backend transport a caller's stream to a remote
+// shard: the state travels in the request, the draws happen shard-side,
+// and the final state travels back — so a remote sample consumes the
+// caller's stream exactly as an in-process one would.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState restores a state captured by State.
+func (r *RNG) SetState(s [4]uint64) { r.s = s }
+
 // Split returns a new generator whose stream is statistically independent
 // of r's. It perturbs a fresh splitmix64 chain with r's next output, so
 // repeated Split calls yield distinct streams.

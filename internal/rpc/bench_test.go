@@ -1,0 +1,63 @@
+package rpc
+
+import (
+	"testing"
+
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/partition"
+	"zoomer/internal/rng"
+)
+
+// BenchmarkRPCRoundTrip measures one single-sample request over a
+// loopback TCP connection — the floor a remote read adds over the
+// ~hundred-ns in-process sample. The client hot path reuses pooled
+// per-connection scratch; allocs/op is the pin that it stays
+// allocation-free at steady state (server included: both ends run in
+// this process).
+func BenchmarkRPCRoundTrip(b *testing.B) {
+	g := buildGraph(b)
+	_, cluster := startCluster(b, g, 2, partition.Hash, [][]int{{0, 1}}, 1)
+	remote := cluster.Engine
+	var ego graph.NodeID
+	for id := 0; id < g.NumNodes(); id++ {
+		if g.Degree(graph.NodeID(id)) >= 5 {
+			ego = graph.NodeID(id)
+			break
+		}
+	}
+	r := rng.New(1)
+	out := make([]graph.NodeID, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.TrySampleNeighborsInto(ego, out, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRemoteBatch measures one scatter-gather batch (64 entries,
+// k=10) against a two-server cluster: two round trips amortized over the
+// whole batch, the unit of work a cache-segment refresher issues.
+func BenchmarkRemoteBatch(b *testing.B) {
+	g := buildGraph(b)
+	_, cluster := startCluster(b, g, 2, partition.Hash, [][]int{{0}, {1}}, 1)
+	remote := cluster.Engine
+	const batch, k = 64, 10
+	r := rng.New(2)
+	ids := make([]graph.NodeID, batch)
+	for i := range ids {
+		ids[i] = graph.NodeID(r.Intn(g.NumNodes()))
+	}
+	out := make([]graph.NodeID, batch*k)
+	ns := make([]int32, batch)
+	bs := engine.NewBatchScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := remote.SampleNeighborsBatchInto(ids, k, out, ns, r, bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

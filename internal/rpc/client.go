@@ -1,0 +1,561 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/partition"
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// ErrShardUnavailable is the typed transport failure: the shard server
+// could not be reached, or the connection died mid-call and one fresh
+// redial also failed. Engine batch errors wrap it, so callers check
+// errors.Is(err, rpc.ErrShardUnavailable) at any layer.
+var ErrShardUnavailable = errors.New("rpc: shard unavailable")
+
+// remoteError is an application-level failure the server answered with
+// (bad request, non-owned shard). The connection is healthy and the call
+// must not be retried.
+type remoteError struct{ msg string }
+
+func (e *remoteError) Error() string { return "rpc: server: " + e.msg }
+
+// DefaultTimeout bounds dial and per-call I/O, guaranteeing a dead peer
+// surfaces as ErrShardUnavailable instead of a hang.
+const DefaultTimeout = 5 * time.Second
+
+// Client is a pooled connection client to one shard server. Calls check
+// out a pooled connection (dialing lazily), run one request/response
+// cycle on it and return it; a connection that sees a transport error is
+// discarded and the call retried once on a freshly dialed one — all reads
+// are idempotent (seeds travel in the request), so the retry is safe, and
+// it is what makes a restarted server transparently reconnect-and-serve.
+// Safe for concurrent use; the steady-state sample/batch path reuses
+// per-connection scratch and performs no heap allocation.
+type Client struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	free   []*clientConn
+	closed bool
+}
+
+type clientConn struct {
+	c net.Conn
+	frameScratch
+}
+
+// NewClient returns a client for the shard server at addr. No connection
+// is made until the first call.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, timeout: DefaultTimeout}
+}
+
+// SetTimeout overrides the per-call I/O and dial deadline (default
+// DefaultTimeout). Not concurrency-safe; set before first use.
+func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
+
+// Addr returns the server address this client targets.
+func (cl *Client) Addr() string { return cl.addr }
+
+// Close releases pooled connections. In-flight calls on checked-out
+// connections finish (or fail) on their own.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.closed = true
+	for _, cn := range cl.free {
+		cn.c.Close()
+	}
+	cl.free = nil
+	return nil
+}
+
+// acquire checks out a pooled connection, or dials when the pool is
+// empty or fresh dialing is forced (the retry path).
+func (cl *Client) acquire(fresh bool) (*clientConn, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, errors.New("client closed")
+	}
+	if !fresh && len(cl.free) > 0 {
+		cn := cl.free[len(cl.free)-1]
+		cl.free = cl.free[:len(cl.free)-1]
+		cl.mu.Unlock()
+		return cn, nil
+	}
+	cl.mu.Unlock()
+	c, err := net.DialTimeout("tcp", cl.addr, cl.timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &clientConn{c: c}, nil
+}
+
+func (cl *Client) release(cn *clientConn) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		cn.c.Close()
+		return
+	}
+	cl.free = append(cl.free, cn)
+	cl.mu.Unlock()
+}
+
+// roundTrip seals and writes the composed request frame, then reads the
+// response body and strips the status byte. A statusErr response comes
+// back as *remoteError with the connection still healthy.
+func (cn *clientConn) roundTrip(req []byte, timeout time.Duration) ([]byte, error) {
+	if err := cn.c.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if err := cn.writeFrame(cn.c, req); err != nil {
+		return nil, err
+	}
+	body, err := cn.readFrame(cn.c)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, errors.New("empty response frame")
+	}
+	if body[0] == statusErr {
+		return nil, &remoteError{msg: string(body[1:])}
+	}
+	return body[1:], nil
+}
+
+// unavailable wraps the last transport error as the typed failure.
+func (cl *Client) unavailable(err error) error {
+	return fmt.Errorf("%w: %s: %v", ErrShardUnavailable, cl.addr, err)
+}
+
+// sample runs one OpSample round trip: k weighted draws for id, the
+// caller's RNG state travelling out and the advanced state travelling
+// back. n is k, or 0 for an isolated node.
+func (cl *Client) sample(id graph.NodeID, k int, st [4]uint64, out []graph.NodeID) (n int, newSt [4]uint64, err error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cn, err := cl.acquire(attempt > 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req := cn.begin(byte(OpSample))
+		req = appendU32(req, uint32(id))
+		req = appendU32(req, uint32(k))
+		for _, w := range st {
+			req = appendU64(req, w)
+		}
+		body, err := cn.roundTrip(req, cl.timeout)
+		if err != nil {
+			cn.c.Close()
+			var re *remoteError
+			if errors.As(err, &re) {
+				return 0, st, err
+			}
+			lastErr = err
+			continue
+		}
+		cu := cursor{b: body}
+		for i := range newSt {
+			newSt[i] = cu.u64()
+		}
+		n := int(cu.u32())
+		if n < 0 || n > k || n > len(out) {
+			cn.c.Close()
+			return 0, st, fmt.Errorf("rpc: sample returned %d draws for k=%d", n, k)
+		}
+		for i := 0; i < n; i++ {
+			out[i] = graph.NodeID(cu.u32())
+		}
+		if cu.bad {
+			cn.c.Close()
+			return 0, st, cu.err()
+		}
+		cl.release(cn)
+		return n, newSt, nil
+	}
+	return 0, st, cl.unavailable(lastErr)
+}
+
+// sampleBatch runs one OpBatch round trip — one scatter-gather shard
+// visit, with the ShardBackend.SampleBatchInto contract: entry j's draws
+// land in out[idx[j]*k:...] and its count in ns[idx[j]].
+func (cl *Client) sampleBatch(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (int, error) {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cn, err := cl.acquire(attempt > 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req := cn.begin(byte(OpBatch))
+		req = appendU64(req, base)
+		req = appendU32(req, uint32(k))
+		req = appendU32(req, uint32(len(gids)))
+		for j := range gids {
+			req = appendU32(req, uint32(idx[j]))
+			req = appendU32(req, uint32(gids[j]))
+		}
+		body, err := cn.roundTrip(req, cl.timeout)
+		if err != nil {
+			cn.c.Close()
+			var re *remoteError
+			if errors.As(err, &re) {
+				return 0, err
+			}
+			lastErr = err
+			continue
+		}
+		cu := cursor{b: body}
+		total := int(cu.u32())
+		ok := true
+		for j := range gids {
+			n := int32(cu.u32())
+			i := int(idx[j])
+			if n < 0 || int(n) > k || (i+1)*k > len(out) || i >= len(ns) {
+				ok = false
+				break
+			}
+			ns[i] = n
+			lo := i * k
+			for d := 0; d < int(n); d++ {
+				out[lo+d] = graph.NodeID(cu.u32())
+			}
+		}
+		if !ok || cu.bad {
+			cn.c.Close()
+			return 0, fmt.Errorf("rpc: malformed batch response (%d bytes)", len(body))
+		}
+		cl.release(cn)
+		return total, nil
+	}
+	return 0, cl.unavailable(lastErr)
+}
+
+// call runs one request/response cycle through the shared connection
+// lifecycle — acquire, round trip, discard-and-retry-once on transport
+// failure, short-circuit on a server-answered error. encode appends the
+// request payload (nil for payload-free ops); decode reads the response
+// body while the connection is still checked out. The zero-allocation
+// hot paths (sample, sampleBatch) keep hand-rolled copies of this
+// scaffold because the closures here cost heap allocations — fine for
+// handshakes and attribute reads, not for the per-request cycle.
+func (cl *Client) call(op Op, encode func([]byte) []byte, decode func(body []byte) error) error {
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		cn, err := cl.acquire(attempt > 0)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		req := cn.begin(byte(op))
+		if encode != nil {
+			req = encode(req)
+		}
+		body, err := cn.roundTrip(req, cl.timeout)
+		if err != nil {
+			cn.c.Close()
+			var re *remoteError
+			if errors.As(err, &re) {
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		if err := decode(body); err != nil {
+			cn.c.Close()
+			return err
+		}
+		cl.release(cn)
+		return nil
+	}
+	return cl.unavailable(lastErr)
+}
+
+// nodeRead runs one single-id read op.
+func (cl *Client) nodeRead(op Op, id graph.NodeID, decode func(cu *cursor) error) error {
+	return cl.call(op,
+		func(b []byte) []byte { return appendU32(b, uint32(id)) },
+		func(body []byte) error {
+			cu := cursor{b: body}
+			return decode(&cu)
+		})
+}
+
+// ShardInfo describes one partition a server owns.
+type ShardInfo struct {
+	ID, Nodes, Edges int
+}
+
+// Info is the server handshake: the shape of the graph behind the server
+// and the partitions it owns.
+type Info struct {
+	NumNodes   int
+	ContentDim int
+	NumShards  int
+	Strategy   partition.Strategy
+	Owned      []ShardInfo
+}
+
+// Info fetches the server handshake.
+func (cl *Client) Info() (Info, error) {
+	var info Info
+	err := cl.call(OpInfo, nil, func(body []byte) error {
+		cu := cursor{b: body}
+		info.NumNodes = int(cu.u32())
+		info.ContentDim = int(cu.u32())
+		info.NumShards = int(cu.u32())
+		info.Strategy = partition.Strategy(cu.u32())
+		owned := int(cu.u32())
+		if cu.bad || owned < 0 || owned > info.NumShards {
+			return fmt.Errorf("rpc: malformed info response")
+		}
+		info.Owned = make([]ShardInfo, owned)
+		for i := range info.Owned {
+			info.Owned[i] = ShardInfo{ID: int(cu.u32()), Nodes: int(cu.u32()), Edges: int(cu.u32())}
+		}
+		if err := cu.err(); err != nil {
+			return err
+		}
+		sort.Slice(info.Owned, func(i, j int) bool { return info.Owned[i].ID < info.Owned[j].ID })
+		return nil
+	})
+	return info, err
+}
+
+// Routing fetches the partition's routing table — everything the Engine
+// routing layer needs to direct requests at this cluster.
+func (cl *Client) Routing() (*partition.Routing, error) {
+	var r *partition.Routing
+	err := cl.call(OpRouting, nil, func(body []byte) error {
+		var uerr error
+		r, uerr = partition.UnmarshalRouting(body)
+		return uerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// RemoteShard is the client-side stub for one partition served by a
+// shard server: an engine.ShardBackend whose reads happen over the wire.
+// Several stubs (one per owned partition) can share one Client and its
+// connection pool.
+type RemoteShard struct {
+	cl           *Client
+	shard        int
+	nodes, edges int
+	requests     atomic.Int64
+}
+
+// The stub plugs into the routing layer exactly like an in-process shard.
+var (
+	_ engine.ShardBackend = (*RemoteShard)(nil)
+	_ engine.BackendStats = (*RemoteShard)(nil)
+)
+
+// NewRemoteShard returns a stub for partition shard behind cl. nodes and
+// edges size the partition for Stats (zero when unknown).
+func NewRemoteShard(cl *Client, shard, nodes, edges int) *RemoteShard {
+	return &RemoteShard{cl: cl, shard: shard, nodes: nodes, edges: edges}
+}
+
+// Shard returns the partition id this stub serves.
+func (rs *RemoteShard) Shard() int { return rs.shard }
+
+// Requests reports the client-side served-call count (engine.BackendStats).
+func (rs *RemoteShard) Requests() int64 { return rs.requests.Load() }
+
+// ShardSize reports the partition size from the server handshake.
+func (rs *RemoteShard) ShardSize() (nodes, edges int) { return rs.nodes, rs.edges }
+
+// SampleInto draws len(out) weighted neighbors of id shard-side,
+// consuming r's stream exactly as an in-process shard would: the state
+// travels in the request and the advanced state is restored from the
+// response. On error r is not consumed and out is unspecified.
+func (rs *RemoteShard) SampleInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error) {
+	if len(out) == 0 {
+		return 0, nil
+	}
+	rs.requests.Add(1)
+	n, st, err := rs.cl.sample(id, len(out), r.State(), out)
+	if err != nil {
+		return 0, err
+	}
+	r.SetState(st)
+	return n, nil
+}
+
+// SampleBatchInto serves one scatter-gather group in one round trip; see
+// engine.ShardBackend for the contract. The batch base travels in the
+// request and every sub-stream is derived and drawn shard-side, so the
+// draws are bit-identical to an in-process visit.
+func (rs *RemoteShard) SampleBatchInto(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (int, error) {
+	if len(gids) == 0 {
+		return 0, nil
+	}
+	rs.requests.Add(int64(len(gids)))
+	return rs.cl.sampleBatch(gids, idx, base, k, out, ns)
+}
+
+// NeighborsOf fetches and decodes id's adjacency list (a fresh copy; the
+// remote CSR slice cannot be shared).
+func (rs *RemoteShard) NeighborsOf(id graph.NodeID) ([]graph.Edge, error) {
+	rs.requests.Add(1)
+	var nbrs []graph.Edge
+	err := rs.cl.nodeRead(OpNeighbors, id, func(cu *cursor) error {
+		n := int(cu.u32())
+		if cu.bad || n < 0 || n > maxFrame/12 {
+			return fmt.Errorf("rpc: malformed neighbors response")
+		}
+		if n > 0 {
+			nbrs = make([]graph.Edge, n)
+		}
+		for i := range nbrs {
+			nbrs[i] = graph.Edge{
+				To:     graph.NodeID(cu.u32()),
+				Type:   graph.EdgeType(cu.u32()),
+				Weight: math.Float32frombits(cu.u32()),
+			}
+		}
+		return cu.err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nbrs, nil
+}
+
+// FeaturesOf fetches id's categorical features.
+func (rs *RemoteShard) FeaturesOf(id graph.NodeID) ([]int32, error) {
+	rs.requests.Add(1)
+	var fs []int32
+	err := rs.cl.nodeRead(OpFeatures, id, func(cu *cursor) error {
+		n := int(cu.u32())
+		if cu.bad || n < 0 || n > maxFrame/4 {
+			return fmt.Errorf("rpc: malformed features response")
+		}
+		if n > 0 {
+			fs = make([]int32, n)
+		}
+		for i := range fs {
+			fs[i] = int32(cu.u32())
+		}
+		return cu.err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// ContentOf fetches id's content vector (nil when the node has none).
+func (rs *RemoteShard) ContentOf(id graph.NodeID) (tensor.Vec, error) {
+	rs.requests.Add(1)
+	var v tensor.Vec
+	err := rs.cl.nodeRead(OpContent, id, func(cu *cursor) error {
+		present := cu.u32()
+		if present == 0 {
+			return cu.err()
+		}
+		n := int(cu.u32())
+		if cu.bad || n < 0 || n > maxFrame/4 {
+			return fmt.Errorf("rpc: malformed content response")
+		}
+		v = make(tensor.Vec, n)
+		for i := range v {
+			v[i] = math.Float32frombits(cu.u32())
+		}
+		return cu.err()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Cluster is a set of shard-server clients assembled into a remote
+// Engine: the routing table is fetched from the first server, every
+// partition is bound to the stub of the server owning it, and the
+// resulting Engine routes exactly as an in-process one.
+type Cluster struct {
+	Engine  *engine.Engine
+	Info    Info // shape handshake from the first server
+	clients []*Client
+}
+
+// DialCluster connects to the given shard servers and assembles the
+// remote engine. Every partition must be owned by exactly one reachable
+// server (the first claimant wins when servers overlap); a partition no
+// server owns is an error.
+func DialCluster(addrs ...string) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("rpc: no shard server addresses")
+	}
+	cluster := &Cluster{}
+	fail := func(err error) (*Cluster, error) {
+		cluster.Close()
+		return nil, err
+	}
+	var backends []engine.ShardBackend
+	var routing *partition.Routing
+	for i, addr := range addrs {
+		cl := NewClient(addr)
+		cluster.clients = append(cluster.clients, cl)
+		info, err := cl.Info()
+		if err != nil {
+			return fail(fmt.Errorf("rpc: handshake with %s: %w", addr, err))
+		}
+		if i == 0 {
+			cluster.Info = info
+			routing, err = cl.Routing()
+			if err != nil {
+				return fail(fmt.Errorf("rpc: routing from %s: %w", addr, err))
+			}
+			backends = make([]engine.ShardBackend, info.NumShards)
+		} else if info.NumShards != cluster.Info.NumShards || info.NumNodes != cluster.Info.NumNodes ||
+			info.Strategy != cluster.Info.Strategy || info.ContentDim != cluster.Info.ContentDim {
+			return fail(fmt.Errorf("rpc: %s serves a different graph (%d/%d shards, %d/%d nodes)",
+				addr, info.NumShards, cluster.Info.NumShards, info.NumNodes, cluster.Info.NumNodes))
+		}
+		for _, sh := range info.Owned {
+			if sh.ID < 0 || sh.ID >= len(backends) {
+				return fail(fmt.Errorf("rpc: %s claims shard %d of %d", addr, sh.ID, len(backends)))
+			}
+			if backends[sh.ID] == nil {
+				backends[sh.ID] = NewRemoteShard(cl, sh.ID, sh.Nodes, sh.Edges)
+			}
+		}
+	}
+	for id, be := range backends {
+		if be == nil {
+			return fail(fmt.Errorf("rpc: no server owns shard %d", id))
+		}
+	}
+	cluster.Engine = engine.NewWithBackends(routing, backends, cluster.Info.ContentDim)
+	return cluster, nil
+}
+
+// Close closes every client in the cluster.
+func (c *Cluster) Close() error {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	return nil
+}

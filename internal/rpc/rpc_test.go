@@ -1,0 +1,400 @@
+package rpc
+
+import (
+	"net"
+	"testing"
+
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
+	"zoomer/internal/rng"
+	"zoomer/internal/sampling"
+)
+
+func buildGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 1))
+	return graphbuild.Build(logs, graphbuild.DefaultConfig()).Graph
+}
+
+// startServer builds and starts one shard server on a loopback listener,
+// returning it and its dialable address.
+func startServer(t testing.TB, g *graph.Graph, cfg ServerConfig) (*Server, string) {
+	t.Helper()
+	s := NewServer(g, cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	s.Start(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+// startCluster spins one server per owned-set and dials them into a
+// remote engine.
+func startCluster(t testing.TB, g *graph.Graph, shards int, strat partition.Strategy, layout [][]int, replicas int) ([]*Server, *Cluster) {
+	t.Helper()
+	servers := make([]*Server, len(layout))
+	addrs := make([]string, len(layout))
+	for i, owned := range layout {
+		servers[i], addrs[i] = startServer(t, g, ServerConfig{
+			Shards: shards, Strategy: strat, Owned: owned, Replicas: replicas,
+		})
+	}
+	cluster, err := DialCluster(addrs...)
+	if err != nil {
+		t.Fatalf("dial cluster: %v", err)
+	}
+	t.Cleanup(func() { cluster.Close() })
+	return servers, cluster
+}
+
+// The loopback equivalence pin: an Engine whose shards sit behind TCP
+// must be bit-identical to the in-process single-store engine — single
+// draws, scatter-gather batches, multi-hop trees and full ROI
+// construction — across both partition strategies and a multi-server
+// layout. This is what makes the distributed backend trustworthy.
+func TestLoopbackEquivalence(t *testing.T) {
+	g := buildGraph(t)
+	local := engine.New(g, engine.Config{Shards: 1, Replicas: 1})
+
+	cases := []struct {
+		name   string
+		shards int
+		strat  partition.Strategy
+		layout [][]int
+	}{
+		{"hash-4-two-servers", 4, partition.Hash, [][]int{{0, 2}, {1, 3}}},
+		{"degree-3-one-server", 3, partition.DegreeBalanced, [][]int{{0, 1, 2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, cluster := startCluster(t, g, tc.shards, tc.strat, tc.layout, 2)
+			remote := cluster.Engine
+			if remote.NumNodes() != g.NumNodes() || remote.ContentDim() != g.ContentDim() {
+				t.Fatalf("handshake shape %d/%d, want %d/%d",
+					remote.NumNodes(), remote.ContentDim(), g.NumNodes(), g.ContentDim())
+			}
+
+			// Single draws: the RNG state travels over the wire and must be
+			// consumed exactly as in-process.
+			rl, rr := rng.New(99), rng.New(99)
+			want := make([]graph.NodeID, 7)
+			got := make([]graph.NodeID, 7)
+			for id := 0; id < g.NumNodes(); id += 3 {
+				nid := graph.NodeID(id)
+				nw := local.SampleNeighborsInto(nid, want, rl)
+				ng := remote.SampleNeighborsInto(nid, got, rr)
+				if nw != ng {
+					t.Fatalf("node %d: remote wrote %d, local %d", id, ng, nw)
+				}
+				for i := 0; i < nw; i++ {
+					if want[i] != got[i] {
+						t.Fatalf("node %d draw %d: remote %d, local %d", id, i, got[i], want[i])
+					}
+				}
+			}
+			if a, b := rl.Uint64(), rr.Uint64(); a != b {
+				t.Fatalf("RNG streams diverged after remote draws: %d vs %d", a, b)
+			}
+
+			// Scatter-gather batch.
+			r := rng.New(7)
+			const k = 6
+			ids := make([]graph.NodeID, 300)
+			for i := range ids {
+				ids[i] = graph.NodeID(r.Intn(g.NumNodes()))
+			}
+			wantOut := make([]graph.NodeID, len(ids)*k)
+			wantNs := make([]int32, len(ids))
+			gotOut := make([]graph.NodeID, len(ids)*k)
+			gotNs := make([]int32, len(ids))
+			if _, err := local.SampleNeighborsBatchInto(ids, k, wantOut, wantNs, rng.New(123), engine.NewBatchScratch()); err != nil {
+				t.Fatalf("local batch: %v", err)
+			}
+			if _, err := remote.SampleNeighborsBatchInto(ids, k, gotOut, gotNs, rng.New(123), engine.NewBatchScratch()); err != nil {
+				t.Fatalf("remote batch: %v", err)
+			}
+			for i := range ids {
+				if wantNs[i] != gotNs[i] {
+					t.Fatalf("batch entry %d: remote count %d, local %d", i, gotNs[i], wantNs[i])
+				}
+				for j := 0; j < int(wantNs[i]); j++ {
+					if wantOut[i*k+j] != gotOut[i*k+j] {
+						t.Fatalf("batch entry %d draw %d: remote %d, local %d", i, j, gotOut[i*k+j], wantOut[i*k+j])
+					}
+				}
+			}
+
+			// Frontier-batched multi-hop expansion.
+			var ego graph.NodeID
+			for id := 0; id < g.NumNodes(); id++ {
+				if g.Degree(graph.NodeID(id)) >= 5 {
+					ego = graph.NodeID(id)
+					break
+				}
+			}
+			wantTree, err := local.SampleTree(ego, 2, 5, rng.New(55), engine.NewBatchScratch())
+			if err != nil {
+				t.Fatalf("local tree: %v", err)
+			}
+			gotTree, err := remote.SampleTree(ego, 2, 5, rng.New(55), engine.NewBatchScratch())
+			if err != nil {
+				t.Fatalf("remote tree: %v", err)
+			}
+			if len(wantTree) <= 1 || len(gotTree) != len(wantTree) {
+				t.Fatalf("tree sizes %d vs %d", len(gotTree), len(wantTree))
+			}
+			for i := range wantTree {
+				if wantTree[i] != gotTree[i] {
+					t.Fatalf("tree node %d: remote %+v, local %+v", i, gotTree[i], wantTree[i])
+				}
+			}
+
+			// Full ROI construction through the GraphView seam: the sampler
+			// reads adjacencies and content over the wire and must reproduce
+			// the local trees exactly.
+			s := sampling.NewFocalBiased()
+			var compare func(a, b *sampling.Tree)
+			compare = func(a, b *sampling.Tree) {
+				if a.Node != b.Node || len(a.Edges) != len(b.Edges) {
+					t.Fatalf("ROI tree node %d/%d edges %d/%d", a.Node, b.Node, len(a.Edges), len(b.Edges))
+				}
+				for i := range a.Edges {
+					if a.Edges[i] != b.Edges[i] {
+						t.Fatalf("ROI edge %d differs at node %d", i, a.Node)
+					}
+					compare(a.Children[i], b.Children[i])
+				}
+			}
+			for id := 0; id < g.NumNodes() && id < 100; id += 17 {
+				nid := graph.NodeID(id)
+				focal := g.Content(nid)
+				want := sampling.BuildTree(g, nid, focal, 2, 4, s, rng.New(31), nil)
+				got := sampling.BuildTree(remote, nid, focal, 2, 4, s, rng.New(31), sampling.NewScratch())
+				compare(want, got)
+			}
+		})
+	}
+}
+
+// Node attribute reads over the wire must return exactly the source
+// graph's rows.
+func TestRemoteReadsMatchGraph(t *testing.T) {
+	g := buildGraph(t)
+	_, cluster := startCluster(t, g, 4, partition.Hash, [][]int{{0, 1}, {2, 3}}, 1)
+	remote := cluster.Engine
+	for id := 0; id < g.NumNodes(); id += 5 {
+		nid := graph.NodeID(id)
+		want, got := g.Neighbors(nid), remote.Neighbors(nid)
+		if len(want) != len(got) {
+			t.Fatalf("node %d: %d edges remote, %d local", id, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("node %d edge %d: %+v vs %+v", id, i, got[i], want[i])
+			}
+		}
+		wf, gf := g.Features(nid), remote.Features(nid)
+		if len(wf) != len(gf) {
+			t.Fatalf("node %d: feature rows differ", id)
+		}
+		for i := range wf {
+			if wf[i] != gf[i] {
+				t.Fatalf("node %d feature %d differs", id, i)
+			}
+		}
+		wc, gc := g.Content(nid), remote.Content(nid)
+		if len(wc) != len(gc) {
+			t.Fatalf("node %d: content rows differ (%d vs %d)", id, len(gc), len(wc))
+		}
+		for i := range wc {
+			if wc[i] != gc[i] {
+				t.Fatalf("node %d content %d differs", id, i)
+			}
+		}
+	}
+}
+
+// The routing layer must accept any mix of in-process shards and remote
+// stubs and stay bit-identical to the fully local engine.
+func TestMixedLocalRemoteBackends(t *testing.T) {
+	g := buildGraph(t)
+	const shards = 4
+	local := engine.New(g, engine.Config{Shards: shards, Replicas: 1, Strategy: partition.Hash})
+
+	// Shards 1 and 3 live behind a server; 0 and 2 are in-process.
+	_, addr := startServer(t, g, ServerConfig{Shards: shards, Strategy: partition.Hash, Owned: []int{1, 3}, Replicas: 1})
+	cl := NewClient(addr)
+	t.Cleanup(func() { cl.Close() })
+	info, err := cl.Info()
+	if err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	routing, err := cl.Routing()
+	if err != nil {
+		t.Fatalf("routing: %v", err)
+	}
+	part := partition.Split(g, shards, partition.Hash)
+	backends := make([]engine.ShardBackend, shards)
+	backends[0] = engine.BuildShard(part, 0, 1)
+	backends[2] = engine.BuildShard(part, 2, 1)
+	for _, sh := range info.Owned {
+		backends[sh.ID] = NewRemoteShard(cl, sh.ID, sh.Nodes, sh.Edges)
+	}
+	mixed := engine.NewWithBackends(routing, backends, info.ContentDim)
+
+	r := rng.New(17)
+	const k = 5
+	ids := make([]graph.NodeID, 200)
+	for i := range ids {
+		ids[i] = graph.NodeID(r.Intn(g.NumNodes()))
+	}
+	wantOut := make([]graph.NodeID, len(ids)*k)
+	wantNs := make([]int32, len(ids))
+	gotOut := make([]graph.NodeID, len(ids)*k)
+	gotNs := make([]int32, len(ids))
+	if _, err := local.SampleNeighborsBatchInto(ids, k, wantOut, wantNs, rng.New(5), nil); err != nil {
+		t.Fatalf("local batch: %v", err)
+	}
+	if _, err := mixed.SampleNeighborsBatchInto(ids, k, gotOut, gotNs, rng.New(5), nil); err != nil {
+		t.Fatalf("mixed batch: %v", err)
+	}
+	for i := range ids {
+		if wantNs[i] != gotNs[i] {
+			t.Fatalf("entry %d: mixed count %d, local %d", i, gotNs[i], wantNs[i])
+		}
+		for j := 0; j < int(wantNs[i]); j++ {
+			if wantOut[i*k+j] != gotOut[i*k+j] {
+				t.Fatalf("entry %d draw %d: mixed %d, local %d", i, j, gotOut[i*k+j], wantOut[i*k+j])
+			}
+		}
+	}
+}
+
+// The acceptance pin on round-trip budget: a scatter-gather batch issues
+// at most one OpBatch request per owning shard, and SampleTree at most
+// one per owning shard per hop — asserted against the servers' own
+// request counters with one server per shard.
+func TestBatchRoundTripBudget(t *testing.T) {
+	g := buildGraph(t)
+	const shards = 4
+	servers, cluster := startCluster(t, g, shards, partition.Hash,
+		[][]int{{0}, {1}, {2}, {3}}, 1)
+	remote := cluster.Engine
+
+	// A batch spanning every shard: exactly one round trip per shard.
+	const k = 4
+	ids := make([]graph.NodeID, 64)
+	r := rng.New(3)
+	for i := range ids {
+		ids[i] = graph.NodeID(r.Intn(g.NumNodes()))
+	}
+	out := make([]graph.NodeID, len(ids)*k)
+	ns := make([]int32, len(ids))
+	if _, err := remote.SampleNeighborsBatchInto(ids, k, out, ns, r, nil); err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	owned := make([]bool, shards)
+	for _, id := range ids {
+		owned[remote.ShardOf(id)] = true
+	}
+	for si, srv := range servers {
+		want := int64(0)
+		if owned[si] {
+			want = 1
+		}
+		if got := srv.OpCount(OpBatch); got != want {
+			t.Fatalf("shard %d served %d batch round trips for one batch, want %d", si, got, want)
+		}
+	}
+
+	// A multi-hop tree: ≤ hops round trips per shard.
+	before := make([]int64, shards)
+	for si, srv := range servers {
+		before[si] = srv.OpCount(OpBatch)
+	}
+	const hops = 2
+	var ego graph.NodeID
+	for id := 0; id < g.NumNodes(); id++ {
+		if g.Degree(graph.NodeID(id)) >= 5 {
+			ego = graph.NodeID(id)
+			break
+		}
+	}
+	if _, err := remote.SampleTree(ego, hops, 5, r, nil); err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	for si, srv := range servers {
+		if got := srv.OpCount(OpBatch) - before[si]; got > hops {
+			t.Fatalf("shard %d served %d batch round trips for a %d-hop tree", si, got, hops)
+		}
+	}
+}
+
+// Stats over a remote cluster folds in the stubs' client-side request
+// counters and the handshake's partition sizes.
+func TestRemoteStats(t *testing.T) {
+	g := buildGraph(t)
+	_, cluster := startCluster(t, g, 3, partition.DegreeBalanced, [][]int{{0, 1, 2}}, 1)
+	remote := cluster.Engine
+	r := rng.New(4)
+	out := make([]graph.NodeID, 4)
+	for id := 0; id < 60; id++ {
+		remote.SampleNeighborsInto(graph.NodeID(id%g.NumNodes()), out, r)
+	}
+	st := remote.Stats()
+	var totalReq int64
+	totalNodes := 0
+	for si := 0; si < 3; si++ {
+		totalReq += st.RequestsPerShard[si]
+		totalNodes += st.NodesPerShard[si]
+	}
+	if totalReq != 60 {
+		t.Fatalf("remote stats counted %d requests, want 60", totalReq)
+	}
+	if totalNodes != g.NumNodes() {
+		t.Fatalf("remote stats count %d nodes, graph has %d", totalNodes, g.NumNodes())
+	}
+}
+
+// The steady-state remote sample/batch cycle must stay allocation-free —
+// client encode/decode scratch, pooled connections and server-side
+// staging are all reused. Both ends run in this process, so the
+// measurement covers the full cycle.
+func TestRemoteHotPathDoesNotAllocate(t *testing.T) {
+	g := buildGraph(t)
+	_, cluster := startCluster(t, g, 2, partition.Hash, [][]int{{0, 1}}, 1)
+	remote := cluster.Engine
+	const batch, k = 32, 6
+	r := rng.New(8)
+	ids := make([]graph.NodeID, batch)
+	for i := range ids {
+		ids[i] = graph.NodeID(r.Intn(g.NumNodes()))
+	}
+	out := make([]graph.NodeID, batch*k)
+	ns := make([]int32, batch)
+	bs := engine.NewBatchScratch()
+	single := make([]graph.NodeID, k)
+
+	// Warm the pool and every scratch buffer.
+	for i := 0; i < 5; i++ {
+		if _, err := remote.SampleNeighborsBatchInto(ids, k, out, ns, r, bs); err != nil {
+			t.Fatalf("warm batch: %v", err)
+		}
+		remote.TrySampleNeighborsInto(ids[0], single, r)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		remote.SampleNeighborsBatchInto(ids, k, out, ns, r, bs)
+	}); avg > 0.5 {
+		t.Fatalf("remote batch allocates %.1f objects/op at steady state", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		remote.TrySampleNeighborsInto(ids[0], single, r)
+	}); avg > 0.5 {
+		t.Fatalf("remote single sample allocates %.1f objects/op at steady state", avg)
+	}
+}

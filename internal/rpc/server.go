@@ -1,0 +1,437 @@
+package rpc
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/partition"
+	"zoomer/internal/rng"
+)
+
+// ServerConfig sizes a shard server.
+type ServerConfig struct {
+	Shards   int                // total partitions of the graph
+	Strategy partition.Strategy // node-to-shard assignment
+	Owned    []int              // shard ids this server owns (nil = all)
+	Replicas int                // replicas per owned shard
+}
+
+// Server owns the in-process stores for some partitions of a graph and
+// serves them over TCP. Construction does the heavy lifting of the
+// paper's deployment shard-side — partitioning and alias-table builds —
+// so a connecting client needs only the routing table. Every connection
+// is handled by its own goroutine with its own scratch; the shard stores
+// themselves are immutable and read lock-free, so connection concurrency
+// scales like in-process replica concurrency.
+type Server struct {
+	part       *partition.Partition
+	routing    []byte // marshaled routing table, shared by every Routing reply
+	shards     map[int]*engine.Shard
+	numNodes   int
+	contentDim int
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	opCounts [numOps]atomic.Int64
+}
+
+// NewServer partitions g and builds the owned shards' stores and alias
+// tables. It panics on an invalid config (mirroring engine.New).
+func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	part := partition.Split(g, cfg.Shards, cfg.Strategy)
+	blob, err := part.RoutingTable().MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("rpc: marshal routing: %v", err))
+	}
+	owned := cfg.Owned
+	if owned == nil {
+		owned = make([]int, cfg.Shards)
+		for i := range owned {
+			owned[i] = i
+		}
+	}
+	s := &Server{
+		part:       part,
+		routing:    blob,
+		shards:     make(map[int]*engine.Shard, len(owned)),
+		numNodes:   g.NumNodes(),
+		contentDim: g.ContentDim(),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	for _, id := range owned {
+		if id < 0 || id >= cfg.Shards {
+			panic(fmt.Sprintf("rpc: owned shard %d of %d", id, cfg.Shards))
+		}
+		s.shards[id] = engine.BuildShard(part, id, cfg.Replicas)
+	}
+	return s
+}
+
+// Start begins accepting connections on ln (ownership transfers to the
+// server; Close closes it). It returns immediately.
+func (s *Server) Start(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				c.Close()
+				return
+			}
+			s.conns[c] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.handle(c)
+		}
+	}()
+}
+
+// ListenAndServe listens on addr and starts serving.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.Start(ln)
+	return nil
+}
+
+// Addr returns the listening address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops the listener, severs every open connection (in-flight
+// requests observe a closed socket — how the fault-injection tests kill a
+// shard mid-batch) and waits for the handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.ln = nil
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// OpCount reports how many requests of one op this server has served —
+// the request accounting the round-trip budget tests assert against
+// (one OpBatch per owning shard per scatter-gather hop).
+func (s *Server) OpCount(op Op) int64 {
+	if op >= numOps {
+		return 0
+	}
+	return s.opCounts[op].Load()
+}
+
+// OwnedShards returns the shard ids this server serves, in map order.
+func (s *Server) OwnedShards() []int {
+	out := make([]int, 0, len(s.shards))
+	for id := range s.shards {
+		out = append(out, id)
+	}
+	return out
+}
+
+// serverConn is one connection's scratch: framing buffers plus the
+// decode/sample staging reused across requests, so a healthy
+// sample/batch request cycle allocates nothing server-side.
+type serverConn struct {
+	frameScratch
+	gids []graph.NodeID
+	idx  []int32
+	out  []graph.NodeID
+	ns   []int32
+	r    rng.RNG
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	sc := &serverConn{}
+	for {
+		body, err := sc.readFrame(c)
+		if err != nil {
+			return // peer gone or corrupt framing; drop the connection
+		}
+		if len(body) == 0 {
+			return
+		}
+		op := Op(body[0])
+		if op < numOps {
+			s.opCounts[op].Add(1)
+		}
+		resp, err := s.dispatch(op, body[1:], sc)
+		if err != nil {
+			resp = append(sc.begin(statusErr), err.Error()...)
+		}
+		if err := sc.writeFrame(c, resp); err != nil {
+			return
+		}
+	}
+}
+
+// shardFor routes id to its owning store, failing for partitions this
+// server does not own (a stale client routing table or a misdirected
+// stub).
+func (s *Server) shardFor(id graph.NodeID) (*engine.Shard, error) {
+	if id < 0 || int(id) >= s.numNodes {
+		return nil, fmt.Errorf("rpc: node %d out of range [0,%d)", id, s.numNodes)
+	}
+	owner := s.part.Owner(id)
+	sh, ok := s.shards[owner]
+	if !ok {
+		return nil, fmt.Errorf("rpc: shard %d (node %d) not owned by this server", owner, id)
+	}
+	return sh, nil
+}
+
+func (s *Server) dispatch(op Op, payload []byte, sc *serverConn) ([]byte, error) {
+	switch op {
+	case OpInfo:
+		return s.handleInfo(sc), nil
+	case OpRouting:
+		return append(sc.begin(statusOK), s.routing...), nil
+	case OpSample:
+		return s.handleSample(payload, sc)
+	case OpBatch:
+		return s.handleBatch(payload, sc)
+	case OpNeighbors:
+		return s.handleNeighbors(payload, sc)
+	case OpFeatures:
+		return s.handleFeatures(payload, sc)
+	case OpContent:
+		return s.handleContent(payload, sc)
+	default:
+		return nil, fmt.Errorf("rpc: unknown op %d", byte(op))
+	}
+}
+
+func (s *Server) handleInfo(sc *serverConn) []byte {
+	b := sc.begin(statusOK)
+	b = appendU32(b, uint32(s.numNodes))
+	b = appendU32(b, uint32(s.contentDim))
+	b = appendU32(b, uint32(s.part.NumShards()))
+	b = appendU32(b, uint32(s.part.Strategy()))
+	b = appendU32(b, uint32(len(s.shards)))
+	for id := range s.shards {
+		b = appendU32(b, uint32(id))
+		b = appendU32(b, uint32(s.part.Shards[id].NumNodes()))
+		b = appendU32(b, uint32(s.part.Shards[id].NumEdges()))
+	}
+	return b
+}
+
+func (s *Server) handleSample(payload []byte, sc *serverConn) ([]byte, error) {
+	cu := cursor{b: payload}
+	id := graph.NodeID(cu.u32())
+	k := int(cu.u32())
+	var st [4]uint64
+	for i := range st {
+		st[i] = cu.u64()
+	}
+	if err := cu.err(); err != nil {
+		return nil, err
+	}
+	if k <= 0 || k > 1<<20 {
+		return nil, fmt.Errorf("rpc: sample k=%d out of range", k)
+	}
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	if cap(sc.out) < k {
+		sc.out = make([]graph.NodeID, k)
+	}
+	// The caller's stream continues here: restore its state, draw
+	// shard-side exactly as an in-process call would, hand the advanced
+	// state back.
+	sc.r.SetState(st)
+	n := sh.SampleNeighborsInto(id, sc.out[:k], &sc.r)
+	b := sc.begin(statusOK)
+	for _, w := range sc.r.State() {
+		b = appendU64(b, w)
+	}
+	b = appendU32(b, uint32(n))
+	for _, v := range sc.out[:n] {
+		b = appendU32(b, uint32(v))
+	}
+	return b, nil
+}
+
+func (s *Server) handleBatch(payload []byte, sc *serverConn) ([]byte, error) {
+	cu := cursor{b: payload}
+	base := cu.u64()
+	k := int(cu.u32())
+	count := int(cu.u32())
+	if cu.bad || k <= 0 || k > 1<<20 || count <= 0 || count > maxFrame/8 {
+		return nil, fmt.Errorf("rpc: bad batch header k=%d count=%d", k, count)
+	}
+	if cap(sc.gids) < count {
+		sc.gids = make([]graph.NodeID, count)
+		sc.idx = make([]int32, count)
+	}
+	gids, idx := sc.gids[:count], sc.idx[:count]
+	maxIdx := int32(0)
+	for j := 0; j < count; j++ {
+		idx[j] = int32(cu.u32())
+		gids[j] = graph.NodeID(cu.u32())
+		if idx[j] > maxIdx {
+			maxIdx = idx[j]
+		}
+		if idx[j] < 0 {
+			return nil, fmt.Errorf("rpc: negative batch index %d", idx[j])
+		}
+	}
+	if err := cu.err(); err != nil {
+		return nil, err
+	}
+	// Bound the staging the client's entry indices imply: a legitimate
+	// batch response carries ~(maxIdx+1)*k draws, so anything past the
+	// frame budget is a malformed request, not a big batch.
+	if (int64(maxIdx)+1)*int64(k) > maxFrame/4 {
+		return nil, fmt.Errorf("rpc: batch index %d with k=%d exceeds frame budget", maxIdx, k)
+	}
+	// One batch request is one shard visit: every entry must live on the
+	// same owned shard (the client stub groups per shard before calling).
+	sh, err := s.shardFor(gids[0])
+	if err != nil {
+		return nil, err
+	}
+	owner := s.part.Owner(gids[0])
+	for _, id := range gids[1:] {
+		if id < 0 || int(id) >= s.numNodes || s.part.Owner(id) != owner {
+			return nil, fmt.Errorf("rpc: batch mixes shards (%d and node %d)", owner, id)
+		}
+	}
+	// Stage draws in the global-batch layout the shard method writes
+	// (idx are the client's entry indices, so seeds — and therefore
+	// draws — are bit-identical to an in-process scatter-gather visit).
+	need := (int(maxIdx) + 1) * k
+	if cap(sc.out) < need {
+		sc.out = make([]graph.NodeID, need)
+	}
+	if cap(sc.ns) < int(maxIdx)+1 {
+		sc.ns = make([]int32, maxIdx+1)
+	}
+	out, ns := sc.out[:need], sc.ns[:maxIdx+1]
+	total, err := sh.SampleBatchInto(gids, idx, base, k, out, ns)
+	if err != nil {
+		return nil, err
+	}
+	b := sc.begin(statusOK)
+	b = appendU32(b, uint32(total))
+	for j := 0; j < count; j++ {
+		n := ns[idx[j]]
+		b = appendU32(b, uint32(n))
+		lo := int(idx[j]) * k
+		for _, v := range out[lo : lo+int(n)] {
+			b = appendU32(b, uint32(v))
+		}
+	}
+	return b, nil
+}
+
+func (s *Server) handleNeighbors(payload []byte, sc *serverConn) ([]byte, error) {
+	cu := cursor{b: payload}
+	id := graph.NodeID(cu.u32())
+	if err := cu.err(); err != nil {
+		return nil, err
+	}
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	nbrs := sh.Neighbors(id)
+	b := sc.begin(statusOK)
+	b = appendU32(b, uint32(len(nbrs)))
+	for _, e := range nbrs {
+		b = appendU32(b, uint32(e.To))
+		b = appendU32(b, uint32(e.Type))
+		b = appendU32(b, math.Float32bits(e.Weight))
+	}
+	return b, nil
+}
+
+func (s *Server) handleFeatures(payload []byte, sc *serverConn) ([]byte, error) {
+	cu := cursor{b: payload}
+	id := graph.NodeID(cu.u32())
+	if err := cu.err(); err != nil {
+		return nil, err
+	}
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	fs := sh.Features(id)
+	b := sc.begin(statusOK)
+	b = appendU32(b, uint32(len(fs)))
+	for _, f := range fs {
+		b = appendU32(b, uint32(f))
+	}
+	return b, nil
+}
+
+func (s *Server) handleContent(payload []byte, sc *serverConn) ([]byte, error) {
+	cu := cursor{b: payload}
+	id := graph.NodeID(cu.u32())
+	if err := cu.err(); err != nil {
+		return nil, err
+	}
+	sh, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	content := sh.Content(id)
+	b := sc.begin(statusOK)
+	if content == nil {
+		b = appendU32(b, 0)
+		return b, nil
+	}
+	b = appendU32(b, 1)
+	b = appendU32(b, uint32(len(content)))
+	for _, v := range content {
+		b = appendU32(b, math.Float32bits(v))
+	}
+	return b, nil
+}

@@ -1,0 +1,175 @@
+// Package rpc puts graph shards on the other side of a TCP connection:
+// the distributed deployment of §VI, where each server owns one or more
+// partitions of the web-scale graph and the serving tier talks to them
+// over the network. A Server owns the engine.Shard stores for the
+// partitions it serves; a RemoteShard is the client-side stub that plugs
+// those stores into the Engine routing layer behind the same
+// engine.ShardBackend seam the in-process shards use.
+//
+// The protocol is a compact length-prefixed binary framing over TCP. A
+// frame is a little-endian uint32 body length followed by the body; a
+// request body is [op byte | payload], a response body is
+// [status byte | payload] where status 0 carries the op's result and
+// status 1 carries an error string. One request is answered by exactly
+// one response, in order, per connection; concurrency comes from the
+// client's connection pool, not from multiplexing.
+//
+// Determinism across the wire is the load-bearing property: RNG state
+// (single samples) or the derived-sub-stream base (batches) travels in
+// the request and every draw happens shard-side, so a remote engine is
+// bit-identical to an in-process one — the loopback equivalence tests pin
+// this down. The scatter-gather batch call maps one shard visit onto one
+// round trip, and both ends reuse per-connection encode/decode scratch so
+// the steady-state sample/batch path performs no heap allocation.
+package rpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Op identifies a request type on the wire; exported so tests and
+// monitoring can read per-op server counters.
+type Op byte
+
+// The request vocabulary: the four GraphService methods, the batch call
+// mirroring SampleNeighborsBatchInto, and the two handshake reads
+// (metadata and the routing table).
+const (
+	OpInfo Op = iota + 1
+	OpRouting
+	OpSample
+	OpBatch
+	OpNeighbors
+	OpFeatures
+	OpContent
+	numOps
+)
+
+// String returns the lowercase op name.
+func (o Op) String() string {
+	switch o {
+	case OpInfo:
+		return "info"
+	case OpRouting:
+		return "routing"
+	case OpSample:
+		return "sample"
+	case OpBatch:
+		return "batch"
+	case OpNeighbors:
+		return "neighbors"
+	case OpFeatures:
+		return "features"
+	case OpContent:
+		return "content"
+	default:
+		return fmt.Sprintf("op(%d)", byte(o))
+	}
+}
+
+const (
+	statusOK  = 0
+	statusErr = 1
+
+	// maxFrame bounds a frame body; anything larger is a protocol error,
+	// not a legitimate message (the largest real payloads are batch
+	// responses of ~batch×k×4 bytes and degree-balanced routing tables of
+	// 8 bytes per node).
+	maxFrame = 1 << 28
+)
+
+// frameScratch is the per-connection framing state both ends reuse: the
+// 4-byte length header and growable read/write buffers, so steady-state
+// framing allocates nothing.
+type frameScratch struct {
+	hdr  [4]byte
+	rbuf []byte
+	wbuf []byte
+}
+
+// begin starts composing a frame body in the reusable write buffer,
+// leaving the 4-byte length hole at the front. Append payload bytes to
+// the returned slice, then hand it to writeFrame.
+func (fs *frameScratch) begin(tag byte) []byte {
+	b := append(fs.wbuf[:0], 0, 0, 0, 0, tag)
+	return b
+}
+
+// writeFrame seals the length header and writes the frame in one call.
+// It stores buf back into the scratch so capacity growth is kept.
+func (fs *frameScratch) writeFrame(c net.Conn, buf []byte) error {
+	fs.wbuf = buf
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_, err := c.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed frame body into the reusable read
+// buffer and returns it (valid until the next readFrame on this scratch).
+func (fs *frameScratch) readFrame(c net.Conn) ([]byte, error) {
+	if _, err := io.ReadFull(c, fs.hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(fs.hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds limit", n)
+	}
+	if cap(fs.rbuf) < int(n) {
+		fs.rbuf = make([]byte, n)
+	}
+	fs.rbuf = fs.rbuf[:n]
+	if _, err := io.ReadFull(c, fs.rbuf); err != nil {
+		return nil, err
+	}
+	return fs.rbuf, nil
+}
+
+// cursor decodes a frame body sequentially; out-of-bounds reads latch the
+// bad flag (checked once at the end) instead of returning per-read
+// errors, keeping decode loops branch-light and allocation-free.
+type cursor struct {
+	b   []byte
+	off int
+	bad bool
+}
+
+func (cu *cursor) u32() uint32 {
+	if cu.off+4 > len(cu.b) {
+		cu.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(cu.b[cu.off:])
+	cu.off += 4
+	return v
+}
+
+func (cu *cursor) u64() uint64 {
+	if cu.off+8 > len(cu.b) {
+		cu.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(cu.b[cu.off:])
+	cu.off += 8
+	return v
+}
+
+// rest returns the undecoded tail of the body.
+func (cu *cursor) rest() []byte {
+	if cu.bad {
+		return nil
+	}
+	return cu.b[cu.off:]
+}
+
+func (cu *cursor) err() error {
+	if cu.bad {
+		return fmt.Errorf("rpc: truncated frame (%d bytes)", len(cu.b))
+	}
+	return nil
+}
+
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }

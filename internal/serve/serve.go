@@ -147,19 +147,65 @@ const minCacheSegments = 16
 const refreshBatch = 64
 
 // fillCall is one in-flight synchronous miss fill; concurrent misses on
-// the same id wait on done instead of sampling redundantly.
+// the same id wait on done instead of sampling redundantly. waiters is
+// written under the segment lock before done closes; the filler reads it
+// at install time to grant each waiter a reference up front.
 type fillCall struct {
-	done chan struct{}
-	nbrs []graph.NodeID
+	done    chan struct{}
+	entry   *Entry
+	waiters int32
+}
+
+// Entry is one cached neighbor set, handed to readers refcounted so its
+// backing buffer can be recycled: the cache holds one reference while
+// the entry is current, every Get adds one, and when the count drops to
+// zero (entry replaced by a refresh and every reader done) the entry
+// returns to its segment's pool. Readers call Release when finished and
+// must not touch Neighbors() afterwards; a reader that never releases
+// keeps its snapshot valid indefinitely at the cost of one pooled
+// buffer. This is what makes the steady-state refresh path
+// allocation-free: refreshed neighbor sets are copied into recycled
+// buffers instead of freshly allocated slices.
+type Entry struct {
+	seg  *cacheSegment
+	buf  []graph.NodeID // len CacheK, reused across generations
+	n    int
+	refs atomic.Int32
+}
+
+// Neighbors returns the cached neighbor set (valid until Release).
+func (e *Entry) Neighbors() []graph.NodeID { return e.buf[:e.n] }
+
+// Release drops the reader's reference, recycling the entry once no
+// reader holds it and a refresh has replaced it. It panics on double
+// release.
+func (e *Entry) Release() {
+	n := e.refs.Add(-1)
+	if n == 0 {
+		e.seg.mu.Lock()
+		e.seg.pool = append(e.seg.pool, e)
+		e.seg.mu.Unlock()
+	} else if n < 0 {
+		panic("serve: cache entry released twice")
+	}
+}
+
+// releaseLocked is Release for the refresher, which already holds the
+// segment lock when it retires the previous generation.
+func (e *Entry) releaseLocked() {
+	if e.refs.Add(-1) == 0 {
+		e.seg.pool = append(e.seg.pool, e)
+	}
 }
 
 // cacheSegment is one lock domain of the neighbor cache, with its own
-// refresh queue, refresher goroutine, single-flight registry and
-// counters.
+// refresh queue, refresher goroutine, single-flight registry, entry pool
+// and counters.
 type cacheSegment struct {
 	mu      sync.RWMutex
-	entries map[graph.NodeID][]graph.NodeID
+	entries map[graph.NodeID]*Entry
 	filling map[graph.NodeID]*fillCall
+	pool    []*Entry // retired entries awaiting reuse
 	refresh chan graph.NodeID
 
 	hits, misses, refreshes atomic.Int64
@@ -169,11 +215,13 @@ type cacheSegment struct {
 // into independently locked segments. Segment keys align with the
 // engine's shard ownership — every id in a segment lives on the same
 // graph shard — so a segment's refresher only ever talks to one shard
-// (one RPC peer, were the shards remote) and drains its queue through
+// (one RPC peer when the shards are remote) and drains its queue through
 // the engine's scatter-gather batch path. Hits return immediately and
 // enqueue an asynchronous refresh on the segment's own queue, decoupling
 // the sampling path from the request path exactly as §VII-E describes
 // ("cache updating is fully asynchronous from users' timely requests").
+// Entries are refcounted (see Entry) so refreshes recycle buffers from a
+// per-segment pool instead of allocating per refreshed id.
 type NeighborCache struct {
 	eng      *engine.Engine
 	k        int
@@ -197,7 +245,7 @@ func NewNeighborCache(eng *engine.Engine, k int, seed uint64) *NeighborCache {
 	}
 	for i := range c.segs {
 		seg := &c.segs[i]
-		seg.entries = make(map[graph.NodeID][]graph.NodeID)
+		seg.entries = make(map[graph.NodeID]*Entry)
 		seg.filling = make(map[graph.NodeID]*fillCall)
 		seg.refresh = make(chan graph.NodeID, 256)
 		c.wg.Add(1)
@@ -206,9 +254,21 @@ func NewNeighborCache(eng *engine.Engine, k int, seed uint64) *NeighborCache {
 	return c
 }
 
+// newEntry pops a recycled entry from the segment pool or allocates one.
+// Callers must hold seg.mu.
+func (c *NeighborCache) newEntry(seg *cacheSegment) *Entry {
+	if n := len(seg.pool); n > 0 {
+		e := seg.pool[n-1]
+		seg.pool = seg.pool[:n-1]
+		return e
+	}
+	return &Entry{seg: seg, buf: make([]graph.NodeID, c.k)}
+}
+
 // refresher drains one segment's queue, batching up to refreshBatch ids
 // into a single engine batch call. The segment's ids all live on one
-// shard, so each drained batch is exactly one shard visit.
+// shard, so each drained batch is exactly one shard visit — and were the
+// shard remote, one RPC by a single-peer client.
 func (c *NeighborCache) refresher(seg *cacheSegment, seed uint64) {
 	defer c.wg.Done()
 	r := rng.New(seed)
@@ -231,21 +291,34 @@ func (c *NeighborCache) refresher(seg *cacheSegment, seed uint64) {
 					break drain
 				}
 			}
-			c.eng.SampleNeighborsBatchInto(ids, c.k, out, ns, r, bs)
-			seg.mu.Lock()
-			for i, id := range ids {
-				// Entries are handed out to readers, so each refresh
-				// installs a fresh slice rather than recycling.
-				var nbrs []graph.NodeID
-				if n := int(ns[i]); n > 0 {
-					nbrs = append(nbrs, out[i*c.k:i*c.k+n]...)
-				}
-				seg.entries[id] = nbrs
-			}
-			seg.mu.Unlock()
-			seg.refreshes.Add(int64(len(ids)))
+			c.refreshIDs(seg, ids, out, ns, r, bs)
 		}
 	}
+}
+
+// refreshIDs resamples ids through one scatter-gather batch and installs
+// the results into recycled entries — the steady-state refresh path
+// performs no heap allocation. On a backend failure (a remote shard
+// down) the previous entries are kept: stale reads beat corrupted or
+// missing ones, and the refresh is simply dropped.
+func (c *NeighborCache) refreshIDs(seg *cacheSegment, ids []graph.NodeID, out []graph.NodeID, ns []int32, r *rng.RNG, bs *engine.BatchScratch) {
+	if _, err := c.eng.SampleNeighborsBatchInto(ids, c.k, out, ns, r, bs); err != nil {
+		return
+	}
+	seg.mu.Lock()
+	for i, id := range ids {
+		e := c.newEntry(seg)
+		n := int(ns[i])
+		copy(e.buf[:n], out[i*c.k:i*c.k+n])
+		e.n = n
+		e.refs.Store(1) // the cache's own reference
+		if old := seg.entries[id]; old != nil {
+			old.releaseLocked()
+		}
+		seg.entries[id] = e
+	}
+	seg.mu.Unlock()
+	seg.refreshes.Add(int64(len(ids)))
 }
 
 // seg maps an id to its segment: the owning shard selects the segment
@@ -256,49 +329,67 @@ func (c *NeighborCache) seg(id graph.NodeID) *cacheSegment {
 	return &c.segs[c.eng.ShardOf(id)*c.perShard+spread]
 }
 
-// Get returns the cached neighbor set for id, sampling synchronously on
-// a miss. Hits schedule an asynchronous refresh (best effort). Misses
-// are single-flighted per id: concurrent requests for the same cold id
-// share one sample instead of racing to overwrite the entry. Only the
-// id's own segment is locked, so requests for different segments never
-// contend.
-func (c *NeighborCache) Get(id graph.NodeID, r *rng.RNG) []graph.NodeID {
+// Get returns the cached neighbor entry for id, sampling synchronously
+// on a miss; the caller reads Neighbors() and calls Release when done.
+// Hits schedule an asynchronous refresh (best effort) and acquire the
+// reader's reference under the segment's read lock, so a refresh can
+// never recycle a buffer out from under a reader. Misses are
+// single-flighted per id: concurrent requests for the same cold id share
+// one sample — each waiter's reference is granted by the filler at
+// install time. Only the id's own segment is locked, so requests for
+// different segments never contend. During a remote-shard outage a miss
+// degrades to an empty neighbor set (the embedder falls back to the
+// ego-only aggregate) rather than failing the request.
+func (c *NeighborCache) Get(id graph.NodeID, r *rng.RNG) *Entry {
 	seg := c.seg(id)
 	seg.mu.RLock()
-	nbrs, ok := seg.entries[id]
-	seg.mu.RUnlock()
-	if ok {
+	if e, ok := seg.entries[id]; ok {
+		e.refs.Add(1)
+		seg.mu.RUnlock()
 		seg.hits.Add(1)
 		select {
 		case seg.refresh <- id:
 		default: // refresher busy; skip
 		}
-		return nbrs
+		return e
 	}
+	seg.mu.RUnlock()
+
 	seg.mu.Lock()
-	if nbrs, ok := seg.entries[id]; ok { // filled while upgrading the lock
+	if e, ok := seg.entries[id]; ok { // filled while upgrading the lock
+		e.refs.Add(1)
 		seg.mu.Unlock()
 		seg.hits.Add(1)
-		return nbrs
+		return e
 	}
 	if f, ok := seg.filling[id]; ok { // coalesce onto the in-flight fill
+		f.waiters++
 		seg.mu.Unlock()
 		<-f.done
 		seg.hits.Add(1)
-		return f.nbrs
+		return f.entry
 	}
 	f := &fillCall{done: make(chan struct{})}
 	seg.filling[id] = f
+	e := c.newEntry(seg)
 	seg.mu.Unlock()
 
 	seg.misses.Add(1)
-	f.nbrs = c.eng.SampleNeighbors(id, c.k, r)
+	n, err := c.eng.TrySampleNeighborsInto(id, e.buf[:c.k], r)
+	if err != nil {
+		n = 0 // shard unavailable: serve the request with no neighbors
+	}
+	e.n = n
+
 	seg.mu.Lock()
-	seg.entries[id] = f.nbrs
+	// cache + filler + every waiter registered before the install.
+	e.refs.Store(2 + f.waiters)
+	seg.entries[id] = e
 	delete(seg.filling, id)
 	seg.mu.Unlock()
+	f.entry = e
 	close(f.done)
-	return f.nbrs
+	return e
 }
 
 // Stats sums cache counters across segments.
@@ -388,9 +479,11 @@ func (s *Server) worker(seed uint64) {
 	sc := s.emb.NewScratch()
 	ssc := s.index.NewSearchScratch()
 	for req := range s.queue {
-		nbrsU := s.cache.Get(req.user, r)
-		nbrsQ := s.cache.Get(req.query, r)
-		uq := s.emb.UserQuery(req.user, req.query, nbrsU, nbrsQ, sc)
+		eu := s.cache.Get(req.user, r)
+		eq := s.cache.Get(req.query, r)
+		uq := s.emb.UserQuery(req.user, req.query, eu.Neighbors(), eq.Neighbors(), sc)
+		eu.Release()
+		eq.Release()
 		found := s.index.SearchInto(uq, s.cfg.TopK, s.cfg.NProbe, ssc)
 		// The scratch-backed results are clobbered by the next request;
 		// the response escapes to the submitter, so copy once — the only

@@ -68,8 +68,8 @@ func TestEmbedderShapesAndFiniteness(t *testing.T) {
 	h := buildHarness(t)
 	r := rng.New(5)
 	u, q := h.users[0], h.queries[0]
-	nbrsU := h.cache.Get(u, r)
-	nbrsQ := h.cache.Get(q, r)
+	nbrsU := h.cache.Get(u, r).Neighbors()
+	nbrsQ := h.cache.Get(q, r).Neighbors()
 	uq := h.emb.UserQuery(u, q, nbrsU, nbrsQ, nil)
 	if len(uq) != 16 {
 		t.Fatalf("uq dim %d", len(uq))
@@ -199,8 +199,8 @@ func BenchmarkServingEmbedding(b *testing.B) {
 	h := buildHarness(b)
 	r := rng.New(1)
 	u, q := h.users[0], h.queries[0]
-	nbrsU := h.cache.Get(u, r)
-	nbrsQ := h.cache.Get(q, r)
+	nbrsU := h.cache.Get(u, r).Neighbors()
+	nbrsQ := h.cache.Get(q, r).Neighbors()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = h.emb.UserQuery(u, q, nbrsU, nbrsQ, nil)
@@ -229,8 +229,8 @@ func TestUserQueryScratchParity(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		u := h.users[i%len(h.users)]
 		q := h.queries[i%len(h.queries)]
-		nbrsU := h.cache.Get(u, r)
-		nbrsQ := h.cache.Get(q, r)
+		nbrsU := h.cache.Get(u, r).Neighbors()
+		nbrsQ := h.cache.Get(q, r).Neighbors()
 		want := h.emb.UserQuery(u, q, nbrsU, nbrsQ, nil)
 		got := h.emb.UserQuery(u, q, nbrsU, nbrsQ, sc)
 		if len(got) != len(want) {
@@ -363,7 +363,7 @@ func TestCacheMissSingleFlight(t *testing.T) {
 
 	const workers = 16
 	var wg sync.WaitGroup
-	results := make([][]graph.NodeID, workers)
+	results := make([]*Entry, workers)
 	start := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -392,10 +392,10 @@ func TestCacheMissSingleFlight(t *testing.T) {
 		nbrSet[e.To] = true
 	}
 	for w := 0; w < workers; w++ {
-		if len(results[w]) != len(results[0]) {
-			t.Fatalf("worker %d saw %d neighbors, worker 0 saw %d", w, len(results[w]), len(results[0]))
+		if len(results[w].Neighbors()) != len(results[0].Neighbors()) {
+			t.Fatalf("worker %d saw %d neighbors, worker 0 saw %d", w, len(results[w].Neighbors()), len(results[0].Neighbors()))
 		}
-		for _, nb := range results[w] {
+		for _, nb := range results[w].Neighbors() {
 			if !nbrSet[nb] {
 				t.Fatalf("worker %d got non-neighbor %d", w, nb)
 			}
@@ -448,7 +448,7 @@ func TestBatchedRefreshKeepsEntriesValid(t *testing.T) {
 		for _, e := range h.g.Neighbors(id) {
 			nbrSet[e.To] = true
 		}
-		for _, nb := range h.cache.Get(id, r) {
+		for _, nb := range h.cache.Get(id, r).Neighbors() {
 			if !nbrSet[nb] {
 				t.Fatalf("refreshed entry for %d contains non-neighbor %d", id, nb)
 			}
@@ -460,12 +460,120 @@ func BenchmarkServingEmbeddingScratch(b *testing.B) {
 	h := buildHarness(b)
 	r := rng.New(1)
 	u, q := h.users[0], h.queries[0]
-	nbrsU := h.cache.Get(u, r)
-	nbrsQ := h.cache.Get(q, r)
+	nbrsU := h.cache.Get(u, r).Neighbors()
+	nbrsQ := h.cache.Get(q, r).Neighbors()
 	sc := h.emb.NewScratch()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = h.emb.UserQuery(u, q, nbrsU, nbrsQ, sc)
+	}
+}
+
+// segmentIDs collects up to want connected ids that map to one cache
+// segment, for driving its refresh path directly.
+func segmentIDs(h *harness, want int) (*cacheSegment, []graph.NodeID) {
+	c := h.cache
+	seg := c.seg(h.users[0])
+	var ids []graph.NodeID
+	for id := 0; id < h.g.NumNodes() && len(ids) < want; id++ {
+		nid := graph.NodeID(id)
+		if c.seg(nid) == seg && h.g.Degree(nid) > 0 {
+			ids = append(ids, nid)
+		}
+	}
+	return seg, ids
+}
+
+// The refresh path must recycle entries through the segment pool: after
+// the pool warms up, refreshing ids allocates nothing (regression: each
+// refresh used to allocate one neighbor slice per refreshed id).
+func TestRefreshPathDoesNotAllocate(t *testing.T) {
+	h := buildHarness(t)
+	seg, ids := segmentIDs(h, 8)
+	if len(ids) < 2 {
+		t.Skip("graph too small to land 2 connected ids in one segment")
+	}
+	r := rng.New(77)
+	bs := engine.NewBatchScratch()
+	out := make([]graph.NodeID, len(ids)*h.cache.k)
+	ns := make([]int32, len(ids))
+	// Two generations warm the pool: gen 1 populates the entries, gen 2
+	// retires gen 1 into the pool while drawing on it for all but one
+	// entry.
+	h.cache.refreshIDs(seg, ids, out, ns, r, bs)
+	h.cache.refreshIDs(seg, ids, out, ns, r, bs)
+	if avg := testing.AllocsPerRun(50, func() {
+		h.cache.refreshIDs(seg, ids, out, ns, r, bs)
+	}); avg > 0 {
+		t.Fatalf("steady-state refresh allocates %.1f objects per batch of %d ids", avg, len(ids))
+	}
+}
+
+// A reader's entry must stay untouched while held, no matter how many
+// refresh generations pass — the refcount keeps its buffer out of the
+// recycling pool until Release.
+func TestHeldEntrySurvivesRefreshes(t *testing.T) {
+	h := buildHarness(t)
+	seg, ids := segmentIDs(h, 4)
+	if len(ids) == 0 {
+		t.Skip("no connected ids in the probe segment")
+	}
+	r := rng.New(78)
+	id := ids[0]
+	held := h.cache.Get(id, r)
+	snapshot := append([]graph.NodeID(nil), held.Neighbors()...)
+	if len(snapshot) == 0 {
+		t.Fatalf("connected node %d cached no neighbors", id)
+	}
+	bs := engine.NewBatchScratch()
+	out := make([]graph.NodeID, len(ids)*h.cache.k)
+	ns := make([]int32, len(ids))
+	for gen := 0; gen < 20; gen++ {
+		h.cache.refreshIDs(seg, ids, out, ns, r, bs)
+	}
+	got := held.Neighbors()
+	if len(got) != len(snapshot) {
+		t.Fatalf("held entry length changed %d -> %d across refreshes", len(snapshot), len(got))
+	}
+	for i := range snapshot {
+		if got[i] != snapshot[i] {
+			t.Fatalf("held entry mutated at %d: %d -> %d", i, snapshot[i], got[i])
+		}
+	}
+	held.Release()
+	// The current generation is still live and valid after the release.
+	cur := h.cache.Get(id, r)
+	nbrSet := map[graph.NodeID]bool{}
+	for _, e := range h.g.Neighbors(id) {
+		nbrSet[e.To] = true
+	}
+	for _, nb := range cur.Neighbors() {
+		if !nbrSet[nb] {
+			t.Fatalf("current entry contains non-neighbor %d", nb)
+		}
+	}
+	cur.Release()
+}
+
+// BenchmarkCacheRefresh measures one segment refresh batch end to end —
+// scatter-gather resample plus recycled-entry install. allocs/op pins
+// the refresh path at zero steady-state allocations.
+func BenchmarkCacheRefresh(b *testing.B) {
+	h := buildHarness(b)
+	seg, ids := segmentIDs(h, 16)
+	if len(ids) == 0 {
+		b.Skip("no connected ids in the probe segment")
+	}
+	r := rng.New(79)
+	bs := engine.NewBatchScratch()
+	out := make([]graph.NodeID, len(ids)*h.cache.k)
+	ns := make([]int32, len(ids))
+	h.cache.refreshIDs(seg, ids, out, ns, r, bs)
+	h.cache.refreshIDs(seg, ids, out, ns, r, bs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.cache.refreshIDs(seg, ids, out, ns, r, bs)
 	}
 }
