@@ -26,13 +26,18 @@ go test -run '^$' -bench 'BenchmarkSampleNeighbors|BenchmarkSampleTree' -benchme
 go test -run '^$' -bench 'BenchmarkFocalBiased|BenchmarkBuildTree' -benchmem -count 1 ./internal/sampling/ | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkServingEmbedding|BenchmarkEndToEndRequest|BenchmarkCacheRefresh' -benchmem -count 1 ./internal/serve/ | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkSearchInto' -benchmem -count 1 ./internal/ann/ | tee -a "$TMP" >&2
-# Remote graph store: loopback TCP round trip and scatter-gather batch.
-go test -run '^$' -bench 'BenchmarkRPCRoundTrip|BenchmarkRemoteBatch' -benchmem -count 1 ./internal/rpc/ | tee -a "$TMP" >&2
+# Remote graph store: loopback TCP round trip, scatter-gather batch
+# (serial + concurrent callers on the shared multiplexed pool) and the
+# multi-shard remote tree.
+go test -run '^$' -bench 'BenchmarkRPCRoundTrip|BenchmarkRemoteBatch$|BenchmarkRemoteBatchParallel|BenchmarkRemoteTree' -benchmem -count 1 ./internal/rpc/ | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkAblationAlias' -benchmem -count 1 . | tee -a "$TMP" >&2
 
 # Fold "BenchmarkName  N  x ns/op  y B/op  z allocs/op" lines into JSON.
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$GOMAXPROCS" '
-BEGIN { print "{"; printf "  \"generated\": \"%s\",\n  \"benchmarks\": {\n", date }
+# The header records GOMAXPROCS and the machine CPU count so multi-core
+# and 1-CPU trajectories are distinguishable when comparing across boxes.
+NUM_CPU="$(nproc 2>/dev/null || echo 1)"
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$GOMAXPROCS" -v cpus="$NUM_CPU" '
+BEGIN { print "{"; printf "  \"generated\": \"%s\",\n  \"gomaxprocs\": %d,\n  \"num_cpu\": %d,\n  \"benchmarks\": {\n", date, procs, cpus }
 /^Benchmark/ {
     name = $1
     # go test appends -GOMAXPROCS only when it exceeds 1; strip exactly it

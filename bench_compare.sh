@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # bench_compare.sh — re-run the benchmark suite and fail if any hot-path
 # bench (BenchmarkHotPath*) regresses more than 20% in ns/op against the
-# committed BENCH_hotpath.json, or stops being allocation-free.
+# committed BENCH_hotpath.json, or stops being allocation-free. The
+# remote RPC benches (BenchmarkRPCRoundTrip, BenchmarkRemote*) are gated
+# too, at a looser threshold (RPC_THRESH, default 1.60) because loopback
+# numbers on small containers carry scheduler noise; their allocation
+# behavior is pinned by TestRemoteHotPathDoesNotAllocate instead of here.
 #
-# Usage: ./bench_compare.sh [baseline.json]   (env THRESH=1.20 to tune)
+# Usage: ./bench_compare.sh [baseline.json]
+#        (env THRESH=1.20 RPC_THRESH=1.60 to tune)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BASE="${1:-BENCH_hotpath.json}"
 THRESH="${THRESH:-1.20}"
+RPC_THRESH="${RPC_THRESH:-1.60}"
 if [ ! -f "$BASE" ]; then
     echo "error: baseline $BASE not found (run ./bench.sh first)" >&2
     exit 1
@@ -19,34 +25,47 @@ NOW="$(mktemp /tmp/bench_now.XXXXXX.json)"
 trap 'rm -f "$NOW"' EXIT
 ./bench.sh "$NOW"
 
-python3 - "$BASE" "$NOW" "$THRESH" <<'PY'
+python3 - "$BASE" "$NOW" "$THRESH" "$RPC_THRESH" <<'PY'
 import json, sys
 
-base_path, now_path, thresh = sys.argv[1], sys.argv[2], float(sys.argv[3])
+base_path, now_path = sys.argv[1], sys.argv[2]
+thresh, rpc_thresh = float(sys.argv[3]), float(sys.argv[4])
 with open(base_path) as f:
     base = json.load(f)["benchmarks"]
 with open(now_path) as f:
     now = json.load(f)["benchmarks"]
 
+RPC_PREFIXES = ("BenchmarkRPCRoundTrip", "BenchmarkRemote")
+
+def is_rpc(name):
+    return name.startswith(RPC_PREFIXES)
+
+def gated(name):
+    return name.startswith("BenchmarkHotPath") or is_rpc(name)
+
 failed = False
-print(f"{'hot-path bench':44s} {'baseline':>10s} {'now':>10s}  verdict")
-for name in sorted(n for n in now if n.startswith("BenchmarkHotPath")):
+print(f"{'gated bench':44s} {'baseline':>10s} {'now':>10s}  verdict")
+for name in sorted(n for n in now if gated(n)):
     cur = now[name]
     old = base.get(name)
     if old is None:
         print(f"{name:44s} {'-':>10s} {cur['ns_op']:>10}  new (no baseline)")
         continue
+    limit = rpc_thresh if is_rpc(name) else thresh
     ratio = cur["ns_op"] / old["ns_op"]
     verdict = f"{ratio:.2f}x ok"
-    if ratio > thresh:
-        verdict = f"{ratio:.2f}x REGRESSION (> {thresh:.2f}x)"
+    if ratio > limit:
+        verdict = f"{ratio:.2f}x REGRESSION (> {limit:.2f}x)"
         failed = True
-    if cur.get("allocs_op"):
+    # Allocation gate: hot-path benches only; the RPC pins live in
+    # TestRemoteHotPathDoesNotAllocate (loopback allocs/op here include
+    # warm-up noise from connection buffers).
+    if not is_rpc(name) and cur.get("allocs_op"):
         verdict += f" + ALLOCATES ({cur['allocs_op']} allocs/op)"
         failed = True
     print(f"{name:44s} {old['ns_op']:>10} {cur['ns_op']:>10}  {verdict}")
 
-missing = [n for n in base if n.startswith("BenchmarkHotPath") and n not in now]
+missing = [n for n in base if gated(n) and n not in now]
 for name in missing:
     print(f"{name:44s} dropped from the suite  REGRESSION")
     failed = True

@@ -15,6 +15,13 @@
 //	zoomer-shard -scale small -seed 1 -shards 4 -own 0,1 -listen :7001 &
 //	zoomer-shard -scale small -seed 1 -shards 4 -own 2,3 -listen :7002 &
 //	zoomer-serve -scale small -seed 1 -remote localhost:7001,localhost:7002
+//
+// Each shard server is reached through a small bounded pool of
+// multiplexed connections shared by every worker and cache refresher:
+// -rpc-conns bounds the pool, -rpc-window the in-flight requests per
+// connection. A server that stops answering trips a consecutive-failure
+// circuit — one probe call redials at a time while the rest fail fast
+// with typed errors — instead of every caller redialing per call.
 package main
 
 import (
@@ -47,6 +54,8 @@ func main() {
 	replicas := flag.Int("replicas", 2, "replicas per shard (throughput axis)")
 	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
 	remote := flag.String("remote", "", "comma-separated zoomer-shard addresses (empty: in-process shards)")
+	rpcConns := flag.Int("rpc-conns", 0, "multiplexed connections per shard server (0 = default 2)")
+	rpcWindow := flag.Int("rpc-window", 0, "in-flight requests per connection (0 = default 32)")
 	trainSteps := flag.Int("train", 100, "warm-up training steps before export")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
@@ -97,7 +106,7 @@ func main() {
 		for i := range addrs {
 			addrs[i] = strings.TrimSpace(addrs[i])
 		}
-		cluster, err := rpc.DialCluster(addrs...)
+		cluster, err := rpc.DialClusterWith(rpc.ClientConfig{Conns: *rpcConns, Window: *rpcWindow}, addrs...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

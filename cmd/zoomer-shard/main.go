@@ -14,6 +14,12 @@
 // With -graph the graph is loaded from a compact binary file (graphgen
 // -out) instead of regenerated, so every server — and the serving tier —
 // is guaranteed the identical graph.
+//
+// The wire protocol (version 2) multiplexes many in-flight requests per
+// connection; -rpc-workers bounds how many of one connection's requests
+// are dispatched concurrently and -rpc-window how many may queue behind
+// them. A client that speaks the old one-request-per-connection protocol
+// is rejected loudly at the preface handshake.
 package main
 
 import (
@@ -41,6 +47,8 @@ func main() {
 	own := flag.String("own", "", "comma-separated shard ids this server owns (default: all)")
 	replicas := flag.Int("replicas", 2, "replicas per owned shard")
 	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
+	rpcWorkers := flag.Int("rpc-workers", 0, "concurrent request dispatch per connection (0 = default 4)")
+	rpcWindow := flag.Int("rpc-window", 0, "buffered requests per connection before the read loop blocks (0 = default 64)")
 	flag.Parse()
 
 	strat, err := partition.ParseStrategy(*strategy)
@@ -91,10 +99,12 @@ func main() {
 
 	fmt.Printf("partitioning into %d shards (%s) and building alias tables...\n", *shards, strat)
 	srv := rpc.NewServer(g, rpc.ServerConfig{
-		Shards:   *shards,
-		Strategy: strat,
-		Owned:    owned,
-		Replicas: *replicas,
+		Shards:      *shards,
+		Strategy:    strat,
+		Owned:       owned,
+		Replicas:    *replicas,
+		ConnWorkers: *rpcWorkers,
+		ConnWindow:  *rpcWindow,
 	})
 	if err := srv.ListenAndServe(*listen); err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -2,20 +2,29 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"zoomer/internal/graph"
 	"zoomer/internal/rng"
 )
 
 // BatchScratch holds the reusable buffers of the scatter-gather path: the
-// counting-sort grouping arrays, the derived per-entry RNG, and the
-// SampleTree frontier/output storage. Not safe for concurrent use — one
-// per caller, like *rng.RNG. A nil *BatchScratch is accepted everywhere
-// and falls back to per-call allocation.
+// counting-sort grouping arrays, the derived per-entry RNG, the parallel
+// fan-out completion state, and the SampleTree frontier/output storage.
+// Not safe for concurrent use — one per caller, like *rng.RNG. A nil
+// *BatchScratch is accepted everywhere and falls back to per-call
+// allocation.
 type BatchScratch struct {
 	counts []int32
 	order  []int32
 	gids   []graph.NodeID // entry node ids reordered by owning shard
+
+	// Parallel fan-out state: one result slot and one in-flight handle
+	// slot per shard, plus the caller's completion barrier for
+	// worker-dispatched visits — all reused across batches.
+	visits  []visitRes
+	handles []BatchHandle
+	wg      sync.WaitGroup
 
 	// SampleTree buffers: the flat tree, the current frontier and the
 	// batch-draw output it expands into.
@@ -34,6 +43,22 @@ func (bs *BatchScratch) orNew() *BatchScratch {
 		return &BatchScratch{}
 	}
 	return bs
+}
+
+// visitBufs returns the per-shard result and handle slots for one
+// parallel batch.
+func (bs *BatchScratch) visitBufs(shards int) ([]visitRes, []BatchHandle) {
+	if cap(bs.visits) < shards {
+		bs.visits = make([]visitRes, shards)
+		bs.handles = make([]BatchHandle, shards)
+	}
+	bs.visits = bs.visits[:shards]
+	bs.handles = bs.handles[:shards]
+	for i := range bs.visits {
+		bs.visits[i] = visitRes{}
+		bs.handles[i] = nil
+	}
+	return bs.visits, bs.handles
 }
 
 func (bs *BatchScratch) groupBufs(entries, shards int) (counts, order []int32, gids []graph.NodeID) {
@@ -69,11 +94,17 @@ func entrySeed(base uint64, i int) uint64 {
 // This is the scatter-gather layer: entries are grouped by owning shard
 // with a counting sort and each shard is visited exactly once — one
 // replica is picked and charged per shard per batch, and over a remote
-// backend each visit is exactly one RPC round trip. One value is
-// consumed from r as the batch base; every entry then draws from its own
-// derived sub-stream shard-side, so results are deterministic given
-// (r state, ids, k) and independent of how the graph is partitioned or
-// which shards sit behind the network.
+// backend each visit is exactly one RPC round trip. When more than one
+// of the visited shards is remote, the visits are dispatched to a
+// bounded fan-out worker pool and overlap on the wire (local groups run
+// inline on the caller meanwhile), so batch latency approaches the
+// slowest shard's round trip instead of their sum; a local-only engine
+// keeps the sequential inline path and its zero-allocation guarantee.
+// Either way the results are identical: every visit writes into disjoint
+// position-addressed regions of out/ns, and one value is consumed from r
+// as the batch base with every entry drawing from its own derived
+// sub-stream shard-side — deterministic given (r state, ids, k) and
+// independent of partitioning, process boundaries, and dispatch order.
 //
 // out must hold at least len(ids)*k entries and ns at least len(ids);
 // the call panics otherwise. With a non-nil bs the call performs no heap
@@ -117,22 +148,127 @@ func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph
 	}
 
 	// One visit per shard: counts[s] is now the end of shard s's group.
-	total := 0
-	start := int32(0)
-	for si, be := range e.backends {
-		end := counts[si]
-		if end == start {
-			continue
+	// Count the remote groups to decide between the inline path and the
+	// parallel fan-out.
+	remoteGroups := 0
+	if e.hasRemote {
+		start := int32(0)
+		for si := range e.backends {
+			end := counts[si]
+			if end > start && e.locals[si] == nil {
+				remoteGroups++
+			}
+			start = end
 		}
-		n, err := be.SampleBatchInto(gids[start:end], order[start:end], base, k, out, ns)
-		if err != nil {
+	}
+
+	if remoteGroups <= 1 {
+		// Sequential inline visits: the local-only steady state (zero
+		// allocation, no cross-goroutine handoff) and the degenerate
+		// single-remote-group case, where fan-out buys nothing.
+		total := 0
+		start := int32(0)
+		for si, be := range e.backends {
+			end := counts[si]
+			if end == start {
+				continue
+			}
+			n, err := be.SampleBatchInto(gids[start:end], order[start:end], base, k, out, ns)
+			if err != nil {
+				for i := range ids {
+					ns[i] = 0
+				}
+				return 0, fmt.Errorf("engine: batch visit to shard %d: %w", si, err)
+			}
+			total += n
+			start = end
+		}
+		return total, nil
+	}
+
+	// Parallel fan-out: put every remote group in flight before waiting on
+	// any of them, so the round trips overlap. An async-capable backend
+	// (BatchStarter — the RPC stub) is started directly by this goroutine:
+	// the request frame goes out and control returns immediately, no
+	// handoff. Any other remote backend is dispatched to the bounded
+	// worker pool. Local groups run inline meanwhile, then everything is
+	// collected in shard order. Each visit writes only its own entries'
+	// disjoint regions of out/ns, so no synchronization beyond the
+	// barrier/awaits is needed and the merged result is bit-identical to
+	// the sequential path.
+	visits, handles := bs.visitBufs(len(e.backends))
+	pooled := 0
+	start := int32(0)
+	for si := range e.backends {
+		end := counts[si]
+		if end > start && e.locals[si] == nil {
+			if starter, ok := e.backends[si].(BatchStarter); ok {
+				handles[si] = starter.StartSampleBatch(gids[start:end], order[start:end], base, k, out, ns)
+			} else {
+				pooled++
+			}
+		}
+		start = end
+	}
+	if pooled > 0 {
+		e.startFanout()
+		bs.wg.Add(pooled)
+		start = 0
+		for si := range e.backends {
+			end := counts[si]
+			if end > start && e.locals[si] == nil && handles[si] == nil {
+				e.fanoutCh <- visitJob{
+					be:   e.backends[si],
+					gids: gids[start:end],
+					idx:  order[start:end],
+					base: base,
+					k:    k,
+					out:  out,
+					ns:   ns,
+					res:  &visits[si],
+					wg:   &bs.wg,
+				}
+			}
+			start = end
+		}
+	}
+	start = 0
+	for si := range e.backends {
+		end := counts[si]
+		if end > start && e.locals[si] != nil {
+			visits[si].n, visits[si].err = e.locals[si].SampleBatchInto(gids[start:end], order[start:end], base, k, out, ns)
+		}
+		start = end
+	}
+	// Collect every visit before acting on any error: an in-flight
+	// backend may still be writing into out/ns until its await returns.
+	// On-the-wire handles drain first — releasing the window capacity
+	// this caller holds — then any the backend had to defer for lack of
+	// a free slot (their awaits issue fresh blocking calls).
+	for si, h := range handles {
+		if h != nil && handleStarted(h) {
+			visits[si].n, visits[si].err = h.AwaitBatch()
+			handles[si] = nil // awaited handles may be recycled; drop them
+		}
+	}
+	for si, h := range handles {
+		if h != nil {
+			visits[si].n, visits[si].err = h.AwaitBatch()
+		}
+	}
+	if pooled > 0 {
+		bs.wg.Wait()
+	}
+
+	total := 0
+	for si := range visits {
+		if err := visits[si].err; err != nil {
 			for i := range ids {
 				ns[i] = 0
 			}
 			return 0, fmt.Errorf("engine: batch visit to shard %d: %w", si, err)
 		}
-		total += n
-		start = end
+		total += visits[si].n
 	}
 	return total, nil
 }

@@ -75,6 +75,42 @@ type ShardBackend interface {
 	ContentOf(id graph.NodeID) (tensor.Vec, error)
 }
 
+// BatchStarter is optionally implemented by backends that can issue a
+// scatter-gather visit without blocking for its result — the seam the
+// parallel batch path prefers: the caller starts every remote group
+// back-to-back, so the visits overlap on the wire with no goroutine
+// handoff at all, then collects them in shard order. Arguments are
+// exactly SampleBatchInto's; the visit's writes land in the same
+// disjoint out/ns regions. The returned handle must always be awaited —
+// the backend may still be writing into out/ns until AwaitBatch returns.
+type BatchStarter interface {
+	StartSampleBatch(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) BatchHandle
+}
+
+// BatchHandle is one in-flight started visit. AwaitBatch blocks until
+// the visit completes and reports it exactly as SampleBatchInto would
+// (including the retry-once and typed-failure semantics of a remote
+// backend). A handle may additionally report Started() false, meaning
+// the backend could not put the visit on the wire without blocking (its
+// connection window was full) and AwaitBatch will issue the whole call
+// synchronously; the batch path awaits all started handles — releasing
+// the window capacity this caller holds — before awaiting those.
+type BatchHandle interface {
+	AwaitBatch() (int, error)
+}
+
+// batchStarted is the optional Started() facet of a BatchHandle.
+type batchStarted interface{ Started() bool }
+
+// handleStarted reports whether a handle's visit is already on the wire
+// (true for handles that do not expose the facet).
+func handleStarted(h BatchHandle) bool {
+	if s, ok := h.(batchStarted); ok {
+		return s.Started()
+	}
+	return true
+}
+
 // BackendStats is optionally implemented by backends that can report
 // their served-request count and partition size (remote stubs do, from
 // their client-side counter and the server handshake); Stats folds these
@@ -112,6 +148,80 @@ type Engine struct {
 
 	numNodes   int
 	contentDim int
+
+	// Parallel scatter-gather state (engines with remote backends only):
+	// a lazily started, bounded pool of fan-out workers that dispatch a
+	// batch's per-shard visits concurrently, plus lifecycle guards.
+	hasRemote  bool
+	fanoutOnce sync.Once
+	fanoutCh   chan visitJob
+	closeOnce  sync.Once
+}
+
+// visitJob is one per-shard batch visit handed to a fan-out worker. The
+// result lands in res (owned by the caller's BatchScratch) and wg is the
+// caller's completion barrier — the job struct itself travels by value
+// through the channel, so dispatch allocates nothing.
+type visitJob struct {
+	be   ShardBackend
+	gids []graph.NodeID
+	idx  []int32
+	base uint64
+	k    int
+	out  []graph.NodeID
+	ns   []int32
+	res  *visitRes
+	wg   *sync.WaitGroup
+}
+
+// visitRes is one visit's outcome slot.
+type visitRes struct {
+	n   int
+	err error
+}
+
+// maxFanoutWorkers bounds the shared fan-out pool; visits are
+// network-bound, so the pool is sized for overlap, not CPU.
+const maxFanoutWorkers = 64
+
+// startFanout lazily starts the bounded worker pool that overlaps remote
+// shard visits. Sized so one batch spanning every shard fans out fully
+// and a few callers overlap, capped to keep goroutine count bounded.
+func (e *Engine) startFanout() {
+	e.fanoutOnce.Do(func() {
+		n := 4 * len(e.backends)
+		if n < 4 {
+			n = 4
+		}
+		if n > maxFanoutWorkers {
+			n = maxFanoutWorkers
+		}
+		e.fanoutCh = make(chan visitJob, n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for j := range e.fanoutCh {
+					j.res.n, j.res.err = j.be.SampleBatchInto(j.gids, j.idx, j.base, j.k, j.out, j.ns)
+					j.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// Close stops the fan-out workers of an engine with remote backends (a
+// no-op for local-only engines, which never start any). Safe to call
+// more than once, but must not race in-flight batch calls — quiesce
+// callers first, as rpc.Cluster.Close (which calls it for engines it
+// assembled) does at teardown.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		// Ensure fanoutOnce is spent so no worker pool can start after
+		// the channel close decision.
+		e.fanoutOnce.Do(func() {})
+		if e.fanoutCh != nil {
+			close(e.fanoutCh)
+		}
+	})
 }
 
 // New partitions g and builds one in-process store per shard,
@@ -166,6 +276,8 @@ func NewWithBackends(routing *partition.Routing, backends []ShardBackend, conten
 			if len(s.replicas) > e.replicas {
 				e.replicas = len(s.replicas)
 			}
+		} else {
+			e.hasRemote = true
 		}
 	}
 	return e

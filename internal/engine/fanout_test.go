@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"zoomer/internal/graph"
+	"zoomer/internal/partition"
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// slowBackend is a ShardBackend whose batch visit takes a fixed delay —
+// a stand-in for a remote shard server across a real network. Draws are
+// deterministic (entry i draws its own id) so results are checkable.
+// It deliberately does NOT implement BatchStarter, exercising the
+// bounded worker-pool fan-out path.
+type slowBackend struct {
+	delay time.Duration
+	fail  error
+}
+
+var errInjected = errors.New("injected backend failure")
+
+func (sb *slowBackend) SampleInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error) {
+	if sb.fail != nil {
+		return 0, sb.fail
+	}
+	for i := range out {
+		out[i] = id
+	}
+	return len(out), nil
+}
+
+func (sb *slowBackend) SampleBatchInto(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (int, error) {
+	time.Sleep(sb.delay)
+	if sb.fail != nil {
+		return 0, sb.fail
+	}
+	total := 0
+	for j, id := range gids {
+		i := int(idx[j])
+		for d := 0; d < k; d++ {
+			out[i*k+d] = id
+		}
+		ns[i] = int32(k)
+		total += k
+	}
+	return total, nil
+}
+
+func (sb *slowBackend) NeighborsOf(id graph.NodeID) ([]graph.Edge, error) { return nil, nil }
+func (sb *slowBackend) FeaturesOf(id graph.NodeID) ([]int32, error)       { return nil, nil }
+func (sb *slowBackend) ContentOf(id graph.NodeID) (tensor.Vec, error)     { return nil, nil }
+
+// slowStarterBackend additionally implements BatchStarter, exercising
+// the async overlap path: Start launches the visit, Await joins it.
+type slowStarterBackend struct {
+	slowBackend
+}
+
+type slowHandle struct {
+	done chan struct{}
+	n    int
+	err  error
+}
+
+func (h *slowHandle) AwaitBatch() (int, error) {
+	<-h.done
+	return h.n, h.err
+}
+
+func (sb *slowStarterBackend) StartSampleBatch(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) BatchHandle {
+	h := &slowHandle{done: make(chan struct{})}
+	go func() {
+		h.n, h.err = sb.SampleBatchInto(gids, idx, base, k, out, ns)
+		close(h.done)
+	}()
+	return h
+}
+
+// fanoutWorld assembles an engine over four mock remote backends and a
+// batch spanning all of them.
+func fanoutWorld(t *testing.T, mk func(delay time.Duration) ShardBackend, delay time.Duration) (*Engine, []graph.NodeID) {
+	t.Helper()
+	const shards, numNodes = 4, 64
+	b := graph.NewBuilder()
+	for i := 0; i < numNodes; i++ {
+		b.AddNode(graph.Item, nil, nil)
+	}
+	g := b.Build()
+	routing := partition.Split(g, shards, partition.Hash).RoutingTable()
+	backends := make([]ShardBackend, shards)
+	for i := range backends {
+		backends[i] = mk(delay)
+	}
+	e := NewWithBackends(routing, backends, 0)
+	t.Cleanup(e.Close)
+	ids := make([]graph.NodeID, 16)
+	for i := range ids {
+		ids[i] = graph.NodeID(i) // hash partitioning: i%4 spreads over all shards
+	}
+	return e, ids
+}
+
+// checkFanoutBatch runs one batch and asserts correctness plus that the
+// four delayed visits overlapped: wall clock near one delay, not four.
+func checkFanoutBatch(t *testing.T, e *Engine, ids []graph.NodeID, delay time.Duration) {
+	t.Helper()
+	const k = 3
+	out := make([]graph.NodeID, len(ids)*k)
+	ns := make([]int32, len(ids))
+	bs := NewBatchScratch()
+	start := time.Now()
+	total, err := e.SampleNeighborsBatchInto(ids, k, out, ns, rng.New(1), bs)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if total != len(ids)*k {
+		t.Fatalf("batch wrote %d draws, want %d", total, len(ids)*k)
+	}
+	for i, id := range ids {
+		if ns[i] != k {
+			t.Fatalf("entry %d count %d", i, ns[i])
+		}
+		for j := 0; j < k; j++ {
+			if out[i*k+j] != id {
+				t.Fatalf("entry %d draw %d is %d, want %d (visit wrote into the wrong region)", i, j, out[i*k+j], id)
+			}
+		}
+	}
+	// Four shards at `delay` each: sequential dispatch would take ≥ 4×.
+	// Generous ceiling (2.5×) keeps the assertion robust on a loaded box
+	// while still ruling the sequential path out.
+	if limit := delay * 5 / 2; elapsed > limit {
+		t.Fatalf("4-shard batch took %v — visits did not overlap (sequential would be ~%v)", elapsed, 4*delay)
+	}
+}
+
+// The worker-pool fan-out must overlap visits to backends without async
+// support: latency approaches max-of-shards, not sum-of-shards.
+func TestFanoutOverlapsWorkerPoolVisits(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	e, ids := fanoutWorld(t, func(d time.Duration) ShardBackend { return &slowBackend{delay: d} }, delay)
+	checkFanoutBatch(t, e, ids, delay)
+}
+
+// The async BatchStarter path must overlap visits the same way.
+func TestFanoutOverlapsStartedVisits(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	e, ids := fanoutWorld(t, func(d time.Duration) ShardBackend { return &slowStarterBackend{slowBackend{delay: d}} }, delay)
+	checkFanoutBatch(t, e, ids, delay)
+}
+
+// SampleTree's per-hop frontier batches ride the same fan-out: a 2-hop
+// tree over four delayed shards costs ~2 delays, not ~8.
+func TestFanoutOverlapsTreeHops(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	e, _ := fanoutWorld(t, func(d time.Duration) ShardBackend { return &slowStarterBackend{slowBackend{delay: d}} }, delay)
+	start := time.Now()
+	tree, err := e.SampleTree(graph.NodeID(1), 2, 4, rng.New(2), NewBatchScratch())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("tree: %v", err)
+	}
+	if len(tree) != 1+4+16 {
+		t.Fatalf("tree has %d nodes, want 21", len(tree))
+	}
+	if limit := 2 * delay * 5 / 2; elapsed > limit {
+		t.Fatalf("2-hop tree took %v — per-hop visits did not overlap", elapsed)
+	}
+}
+
+// A failing visit in a parallel fan-out must zero every count and
+// surface the failure, exactly like the sequential path — no partial
+// results regardless of which shard failed or how late.
+func TestFanoutFailureZeroesAllCounts(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			const delay = 5 * time.Millisecond
+			mk := func(d time.Duration) ShardBackend { return &slowBackend{delay: d} }
+			if async {
+				mk = func(d time.Duration) ShardBackend { return &slowStarterBackend{slowBackend{delay: d}} }
+			}
+			e, ids := fanoutWorld(t, mk, delay)
+			// Inject a failure into shard 2 only.
+			switch be := e.Backend(2).(type) {
+			case *slowBackend:
+				be.fail = errInjected
+			case *slowStarterBackend:
+				be.fail = errInjected
+			}
+			const k = 3
+			out := make([]graph.NodeID, len(ids)*k)
+			ns := make([]int32, len(ids))
+			for i := range ns {
+				ns[i] = 9 // sentinel
+			}
+			_, err := e.SampleNeighborsBatchInto(ids, k, out, ns, rng.New(3), nil)
+			if !errors.Is(err, errInjected) {
+				t.Fatalf("parallel batch error %v does not wrap the backend failure", err)
+			}
+			for i, v := range ns {
+				if v != 0 {
+					t.Fatalf("entry %d count %d after failed parallel batch (partial results)", i, v)
+				}
+			}
+		})
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -18,8 +17,9 @@ import (
 )
 
 // ErrShardUnavailable is the typed transport failure: the shard server
-// could not be reached, or the connection died mid-call and one fresh
-// redial also failed. Engine batch errors wrap it, so callers check
+// could not be reached, the connection died mid-call, or the client's
+// failure circuit is open and refused the call outright. Engine batch
+// errors wrap it, so callers check
 // errors.Is(err, rpc.ErrShardUnavailable) at any layer.
 var ErrShardUnavailable = errors.New("rpc: shard unavailable")
 
@@ -34,137 +34,274 @@ func (e *remoteError) Error() string { return "rpc: server: " + e.msg }
 // surfaces as ErrShardUnavailable instead of a hang.
 const DefaultTimeout = 5 * time.Second
 
-// Client is a pooled connection client to one shard server. Calls check
-// out a pooled connection (dialing lazily), run one request/response
-// cycle on it and return it; a connection that sees a transport error is
-// discarded and the call retried once on a freshly dialed one — all reads
-// are idempotent (seeds travel in the request), so the retry is safe, and
-// it is what makes a restarted server transparently reconnect-and-serve.
-// Safe for concurrent use; the steady-state sample/batch path reuses
-// per-connection scratch and performs no heap allocation.
+// ClientConfig bounds the multiplexed connection pool.
+type ClientConfig struct {
+	// Conns is the number of pooled multiplexed connections (default 2).
+	// Each is shared by every concurrent caller; more connections spread
+	// head-of-line blocking on the kernel socket, not request slots.
+	Conns int
+	// Window is the in-flight request limit per connection (default 32).
+	// A caller finding every slot of its connection taken blocks until
+	// one frees — backpressure, bounded by Timeout.
+	Window int
+	// Timeout bounds dialing and each request's in-flight time (default
+	// DefaultTimeout).
+	Timeout time.Duration
+	// FailThreshold is the consecutive-transport-failure count that opens
+	// the health circuit (default 3). While open, a single probe call at
+	// a time is allowed to dial; every other caller waits for the probe's
+	// outcome and then either proceeds (shard recovered) or fails with
+	// ErrShardUnavailable without dialing — one dial attempt per outage
+	// instead of one per caller. Any success closes the circuit; an idle
+	// second decays it.
+	FailThreshold int
+}
+
+func (cfg ClientConfig) withDefaults() ClientConfig {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 2
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	return cfg
+}
+
+// breakerDecay is how long the circuit stays open with no traffic before
+// the consecutive-failure count resets and calls probe freely again.
+const breakerDecay = time.Second
+
+// Client is a multiplexed-connection client to one shard server. Calls
+// share a small bounded pool of pipelined connections: a call picks a
+// connection round-robin, occupies one in-flight window slot on it, and
+// overlaps on the wire with every other caller's requests — no
+// connection is ever checked out exclusively. A connection that sees a
+// transport error is discarded (failing its in-flight requests with
+// typed errors, never with another request's bytes) and the call retried
+// once on a freshly dialed one — all reads are idempotent (seeds travel
+// in the request), so the retry is safe, and it is what makes a
+// restarted server transparently reconnect-and-serve. Repeated failures
+// open a health circuit: one probe call dials at a time while every
+// other caller adopts the probe's outcome, replacing redial-per-call
+// dial storms. Safe for concurrent use; the steady-state sample/batch
+// path reuses per-slot scratch and performs no heap allocation.
 type Client struct {
-	addr    string
-	timeout time.Duration
+	addr string
+	cfg  ClientConfig
 
 	mu     sync.Mutex
-	free   []*clientConn
+	conns  []*muxConn // fixed length cfg.Conns; nil until first use
 	closed bool
+	next   atomic.Uint32 // round-robin connection cursor
+
+	hmu       sync.Mutex // health circuit state
+	fails     int
+	probeDone chan struct{} // non-nil while a probe call is in flight
+	lastErr   time.Time
 }
 
-type clientConn struct {
-	c net.Conn
-	frameScratch
-}
+// NewClient returns a client for the shard server at addr with default
+// pool bounds. No connection is made until the first call.
+func NewClient(addr string) *Client { return NewClientWith(addr, ClientConfig{}) }
 
-// NewClient returns a client for the shard server at addr. No connection
-// is made until the first call.
-func NewClient(addr string) *Client {
-	return &Client{addr: addr, timeout: DefaultTimeout}
+// NewClientWith returns a client with explicit pool bounds.
+func NewClientWith(addr string, cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{addr: addr, cfg: cfg, conns: make([]*muxConn, cfg.Conns)}
 }
 
 // SetTimeout overrides the per-call I/O and dial deadline (default
 // DefaultTimeout). Not concurrency-safe; set before first use.
-func (cl *Client) SetTimeout(d time.Duration) { cl.timeout = d }
+func (cl *Client) SetTimeout(d time.Duration) { cl.cfg.Timeout = d }
 
 // Addr returns the server address this client targets.
 func (cl *Client) Addr() string { return cl.addr }
 
-// Close releases pooled connections. In-flight calls on checked-out
-// connections finish (or fail) on their own.
+// Close tears down the pooled connections; in-flight calls fail with
+// typed errors.
 func (cl *Client) Close() error {
 	cl.mu.Lock()
-	defer cl.mu.Unlock()
 	cl.closed = true
-	for _, cn := range cl.free {
-		cn.c.Close()
+	conns := cl.conns
+	cl.conns = nil
+	cl.mu.Unlock()
+	for _, mc := range conns {
+		if mc != nil {
+			mc.close()
+		}
 	}
-	cl.free = nil
 	return nil
 }
 
-// acquire checks out a pooled connection, or dials when the pool is
-// empty or fresh dialing is forced (the retry path).
-func (cl *Client) acquire(fresh bool) (*clientConn, error) {
+// admit applies the health circuit. Below the failure threshold every
+// call proceeds immediately. Above it, exactly one probe call at a time
+// is allowed to touch the network; every other caller receives the
+// probe's completion channel, waits for its outcome, and — if the
+// circuit is still open — fails with ErrShardUnavailable without ever
+// dialing. One dial attempt in flight per outage instead of one per
+// caller, and a recovered server admits every waiter the moment the
+// probe succeeds. The probe flag must be handed back through settle.
+func (cl *Client) admit() (probe bool, wait chan struct{}) {
+	cl.hmu.Lock()
+	defer cl.hmu.Unlock()
+	if cl.fails >= cl.cfg.FailThreshold && time.Since(cl.lastErr) > breakerDecay {
+		cl.fails = 0 // decay: the outage information is stale
+	}
+	if cl.fails < cl.cfg.FailThreshold {
+		return false, nil
+	}
+	if cl.probeDone != nil {
+		return false, cl.probeDone
+	}
+	cl.probeDone = make(chan struct{})
+	return true, nil
+}
+
+// open reports whether the circuit is still refusing calls (a waiter's
+// post-probe check).
+func (cl *Client) open() bool {
+	cl.hmu.Lock()
+	defer cl.hmu.Unlock()
+	return cl.fails >= cl.cfg.FailThreshold
+}
+
+// settle records a call's transport outcome in the circuit and releases
+// the probe's waiters.
+func (cl *Client) settle(probe, failed bool) {
+	cl.hmu.Lock()
+	defer cl.hmu.Unlock()
+	if probe && cl.probeDone != nil {
+		close(cl.probeDone)
+		cl.probeDone = nil
+	}
+	if failed {
+		cl.fails++
+		cl.lastErr = time.Now()
+	} else {
+		cl.fails = 0
+	}
+}
+
+// releaseProbe abandons a probe reservation without recording an
+// outcome: waiters wake, see the circuit still open and fail typed. The
+// async start path uses it when the probe call cannot actually reach
+// the wire (no free window slot), so no waiter is ever left waiting on
+// a probe whose outcome is deferred behind the waiter's own await.
+func (cl *Client) releaseProbe() {
+	cl.hmu.Lock()
+	defer cl.hmu.Unlock()
+	if cl.probeDone != nil {
+		close(cl.probeDone)
+		cl.probeDone = nil
+	}
+}
+
+// gate combines admission and probe-waiting: it returns the probe flag
+// and nil when the call may proceed, or the typed failure when the
+// circuit refused it.
+func (cl *Client) gate() (probe bool, err error) {
+	probe, wait := cl.admit()
+	if wait == nil {
+		return probe, nil
+	}
+	<-wait
+	if cl.open() {
+		return false, cl.unavailable(nil)
+	}
+	return false, nil
+}
+
+// conn returns a live pooled connection, dialing into the round-robin
+// slot when it is empty or its connection has died. Every transport
+// error marks its connection dead, so a retrying caller lands on a
+// fresh one naturally — no forced redial, and no caller ever severs a
+// live connection another caller just dialed.
+func (cl *Client) conn() (*muxConn, error) {
+	i := int(cl.next.Add(1)) % cl.cfg.Conns
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()
 		return nil, errors.New("client closed")
 	}
-	if !fresh && len(cl.free) > 0 {
-		cn := cl.free[len(cl.free)-1]
-		cl.free = cl.free[:len(cl.free)-1]
+	if mc := cl.conns[i]; mc != nil && !mc.dead.Load() {
 		cl.mu.Unlock()
-		return cn, nil
+		return mc, nil
 	}
 	cl.mu.Unlock()
-	c, err := net.DialTimeout("tcp", cl.addr, cl.timeout)
+	nc, err := dialMux(cl.addr, cl.cfg.Window, cl.cfg.Timeout)
 	if err != nil {
 		return nil, err
 	}
-	return &clientConn{c: c}, nil
-}
-
-func (cl *Client) release(cn *clientConn) {
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()
-		cn.c.Close()
-		return
+		nc.close()
+		return nil, errors.New("client closed")
 	}
-	cl.free = append(cl.free, cn)
+	if old := cl.conns[i]; old != nil && !old.dead.Load() {
+		// Another caller installed a live connection while we dialed;
+		// share theirs, drop ours.
+		cl.mu.Unlock()
+		nc.close()
+		return old, nil
+	} else if old != nil {
+		old.close()
+	}
+	cl.conns[i] = nc
 	cl.mu.Unlock()
-}
-
-// roundTrip seals and writes the composed request frame, then reads the
-// response body and strips the status byte. A statusErr response comes
-// back as *remoteError with the connection still healthy.
-func (cn *clientConn) roundTrip(req []byte, timeout time.Duration) ([]byte, error) {
-	if err := cn.c.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return nil, err
-	}
-	if err := cn.writeFrame(cn.c, req); err != nil {
-		return nil, err
-	}
-	body, err := cn.readFrame(cn.c)
-	if err != nil {
-		return nil, err
-	}
-	if len(body) == 0 {
-		return nil, errors.New("empty response frame")
-	}
-	if body[0] == statusErr {
-		return nil, &remoteError{msg: string(body[1:])}
-	}
-	return body[1:], nil
+	return nc, nil
 }
 
 // unavailable wraps the last transport error as the typed failure.
 func (cl *Client) unavailable(err error) error {
+	if err == nil {
+		err = errors.New("circuit open, probe in flight")
+	}
 	return fmt.Errorf("%w: %s: %v", ErrShardUnavailable, cl.addr, err)
 }
 
-// sample runs one OpSample round trip: k weighted draws for id, the
+// sample runs one OpSample request: k weighted draws for id, the
 // caller's RNG state travelling out and the advanced state travelling
-// back. n is k, or 0 for an isolated node.
+// back. n is k, or 0 for an isolated node. Hand-rolled (no closures) to
+// keep the hot path allocation-free.
 func (cl *Client) sample(id graph.NodeID, k int, st [4]uint64, out []graph.NodeID) (n int, newSt [4]uint64, err error) {
+	probe, gerr := cl.gate()
+	if gerr != nil {
+		return 0, st, gerr
+	}
 	var lastErr error
+	failed := true
+	defer func() { cl.settle(probe, failed) }()
 	for attempt := 0; attempt < 2; attempt++ {
-		cn, err := cl.acquire(attempt > 0)
+		mc, err := cl.conn()
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		req := cn.begin(byte(OpSample))
+		ct := getTimer()
+		sl, req, err := mc.acquire(OpSample, ct)
+		if err != nil {
+			putTimer(ct)
+			lastErr = err
+			continue
+		}
 		req = appendU32(req, uint32(id))
 		req = appendU32(req, uint32(k))
 		for _, w := range st {
 			req = appendU64(req, w)
 		}
-		body, err := cn.roundTrip(req, cl.timeout)
+		body, err := mc.roundTrip(sl, req, ct)
+		putTimer(ct)
 		if err != nil {
-			cn.c.Close()
 			var re *remoteError
 			if errors.As(err, &re) {
+				failed = false
 				return 0, st, err
 			}
 			lastErr = err
@@ -175,113 +312,313 @@ func (cl *Client) sample(id graph.NodeID, k int, st [4]uint64, out []graph.NodeI
 			newSt[i] = cu.u64()
 		}
 		n := int(cu.u32())
-		if n < 0 || n > k || n > len(out) {
-			cn.c.Close()
+		bad := cu.bad || n < 0 || n > k || n > len(out)
+		if !bad {
+			for i := 0; i < n; i++ {
+				out[i] = graph.NodeID(cu.u32())
+			}
+			bad = cu.bad
+		}
+		mc.release(sl)
+		if bad {
+			mc.fail(fmt.Errorf("rpc: malformed sample response (%d bytes)", len(body)))
+			failed = false
 			return 0, st, fmt.Errorf("rpc: sample returned %d draws for k=%d", n, k)
 		}
-		for i := 0; i < n; i++ {
-			out[i] = graph.NodeID(cu.u32())
-		}
-		if cu.bad {
-			cn.c.Close()
-			return 0, st, cu.err()
-		}
-		cl.release(cn)
+		failed = false
 		return n, newSt, nil
 	}
 	return 0, st, cl.unavailable(lastErr)
 }
 
-// sampleBatch runs one OpBatch round trip — one scatter-gather shard
-// visit, with the ShardBackend.SampleBatchInto contract: entry j's draws
-// land in out[idx[j]*k:...] and its count in ns[idx[j]].
-func (cl *Client) sampleBatch(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (int, error) {
-	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		cn, err := cl.acquire(attempt > 0)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		req := cn.begin(byte(OpBatch))
-		req = appendU64(req, base)
-		req = appendU32(req, uint32(k))
-		req = appendU32(req, uint32(len(gids)))
-		for j := range gids {
-			req = appendU32(req, uint32(idx[j]))
-			req = appendU32(req, uint32(gids[j]))
-		}
-		body, err := cn.roundTrip(req, cl.timeout)
-		if err != nil {
-			cn.c.Close()
-			var re *remoteError
-			if errors.As(err, &re) {
-				return 0, err
-			}
-			lastErr = err
-			continue
-		}
-		cu := cursor{b: body}
-		total := int(cu.u32())
-		ok := true
-		for j := range gids {
-			n := int32(cu.u32())
-			i := int(idx[j])
-			if n < 0 || int(n) > k || (i+1)*k > len(out) || i >= len(ns) {
-				ok = false
-				break
-			}
-			ns[i] = n
-			lo := i * k
-			for d := 0; d < int(n); d++ {
-				out[lo+d] = graph.NodeID(cu.u32())
-			}
-		}
-		if !ok || cu.bad {
-			cn.c.Close()
-			return 0, fmt.Errorf("rpc: malformed batch response (%d bytes)", len(body))
-		}
-		cl.release(cn)
-		return total, nil
+// appendBatch encodes an OpBatch payload.
+func appendBatch(req []byte, gids []graph.NodeID, idx []int32, base uint64, k int) []byte {
+	req = appendU64(req, base)
+	req = appendU32(req, uint32(k))
+	req = appendU32(req, uint32(len(gids)))
+	for j := range gids {
+		req = appendU32(req, uint32(idx[j]))
+		req = appendU32(req, uint32(gids[j]))
 	}
-	return 0, cl.unavailable(lastErr)
+	return req
 }
 
-// call runs one request/response cycle through the shared connection
-// lifecycle — acquire, round trip, discard-and-retry-once on transport
-// failure, short-circuit on a server-answered error. encode appends the
-// request payload (nil for payload-free ops); decode reads the response
-// body while the connection is still checked out. The zero-allocation
-// hot paths (sample, sampleBatch) keep hand-rolled copies of this
-// scaffold because the closures here cost heap allocations — fine for
-// handshakes and attribute reads, not for the per-request cycle.
+// decodeBatch scatters an OpBatch response into out/ns and releases the
+// slot. A malformed body kills the connection and reports a permanent
+// (non-transport) error.
+func decodeBatch(mc *muxConn, sl *muxSlot, body []byte, gids []graph.NodeID, idx []int32, k int, out []graph.NodeID, ns []int32) (int, error) {
+	cu := cursor{b: body}
+	total := int(cu.u32())
+	good := true
+	for j := range gids {
+		n := int32(cu.u32())
+		i := int(idx[j])
+		if n < 0 || int(n) > k || (i+1)*k > len(out) || i >= len(ns) {
+			good = false
+			break
+		}
+		ns[i] = n
+		lo := i * k
+		for d := 0; d < int(n); d++ {
+			out[lo+d] = graph.NodeID(cu.u32())
+		}
+	}
+	good = good && !cu.bad
+	mc.release(sl)
+	if !good {
+		err := fmt.Errorf("rpc: malformed batch response (%d bytes)", len(body))
+		mc.fail(err)
+		return 0, err
+	}
+	return total, nil
+}
+
+// batchAttempt runs one full synchronous OpBatch attempt. transport
+// reports whether a failure was a transport-level one (retryable, counts
+// against the health circuit) as opposed to a server-answered or
+// malformed-response error.
+func (cl *Client) batchAttempt(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (total int, transport bool, err error) {
+	mc, err := cl.conn()
+	if err != nil {
+		return 0, true, err
+	}
+	ct := getTimer()
+	defer putTimer(ct)
+	sl, req, err := mc.acquire(OpBatch, ct)
+	if err != nil {
+		return 0, true, err
+	}
+	req = appendBatch(req, gids, idx, base, k)
+	body, err := mc.roundTrip(sl, req, ct)
+	if err != nil {
+		var re *remoteError
+		if errors.As(err, &re) {
+			return 0, false, err
+		}
+		return 0, true, err
+	}
+	total, err = decodeBatch(mc, sl, body, gids, idx, k, out, ns)
+	return total, false, err
+}
+
+// sampleBatch runs one OpBatch request — one scatter-gather shard visit,
+// with the ShardBackend.SampleBatchInto contract: entry j's draws land
+// in out[idx[j]*k:...] and its count in ns[idx[j]].
+func (cl *Client) sampleBatch(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (int, error) {
+	probe, gerr := cl.gate()
+	if gerr != nil {
+		return 0, gerr
+	}
+	total, transport, err := cl.batchAttempt(gids, idx, base, k, out, ns)
+	if err != nil && transport {
+		total, transport, err = cl.batchAttempt(gids, idx, base, k, out, ns)
+	}
+	cl.settle(probe, err != nil && transport)
+	if err != nil && transport {
+		return 0, cl.unavailable(err)
+	}
+	return total, err
+}
+
+// pendingBatch is one started (sent, not yet awaited) batch visit — the
+// engine.BatchHandle the stub hands the scatter-gather fan-out. Pooled;
+// returned to the pool when awaited.
+type pendingBatch struct {
+	cl       *Client
+	mc       *muxConn // nil when the start attempt failed before the wire
+	sl       *muxSlot
+	ct       *callTimer
+	probe    bool
+	deferred bool          // window was full: nothing sent, await runs the call
+	wait     chan struct{} // non-nil: circuit open behind another probe; await resolves
+	serr     error         // non-nil: start-side transport failure (await retries)
+
+	gids []graph.NodeID
+	idx  []int32
+	base uint64
+	k    int
+	out  []graph.NodeID
+	ns   []int32
+}
+
+var pendingPool = sync.Pool{New: func() any { return new(pendingBatch) }}
+
+// startBatch gates the circuit, composes the request and puts it on the
+// wire without waiting. It never blocks on another call's probe — a
+// caller may hold several un-awaited handles on one client (the engine
+// fan-out does), and the probe they would wait for can be one of those
+// very handles, so the wait is deferred to AwaitBatch, which runs after
+// every earlier-started handle has settled. Every other failure mode is
+// deferred too, so concurrently started sibling visits are never
+// abandoned mid-flight. The returned handle must be awaited exactly
+// once.
+func (cl *Client) startBatch(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) *pendingBatch {
+	p := pendingPool.Get().(*pendingBatch)
+	*p = pendingBatch{cl: cl, gids: gids, idx: idx, base: base, k: k, out: out, ns: ns}
+	probe, wait := cl.admit()
+	if wait != nil {
+		// Behind another probe: the await adopts its outcome. Marked
+		// deferred so the engine collects it only after every on-the-wire
+		// handle — by then the probe (an earlier-started sibling, or a
+		// foreign time-bounded call) has settled, and a fresh synchronous
+		// call here cannot block window capacity the caller still holds.
+		p.wait = wait
+		p.deferred = true
+		return p
+	}
+	p.probe = probe
+	mc, err := cl.conn()
+	if err != nil {
+		p.serr = err
+		return p
+	}
+	// Never block for a window slot here: the caller may already hold
+	// slots for sibling visits, and a window's worth of such callers
+	// blocking on each other is a deadlock. A full window defers this
+	// group (Started() false); the engine runs it synchronously after
+	// awaiting — and thereby releasing — its started visits.
+	sl, req, ok := mc.tryAcquire(OpBatch)
+	if !ok {
+		if p.probe {
+			// The probe reservation must not outlive the start phase: a
+			// deferred probe settles only after the engine's first await
+			// pass, and a sibling waiter awaited in that pass would
+			// deadlock on it. Abandon the reservation instead; waiters
+			// fail typed and the next call re-probes.
+			cl.releaseProbe()
+			p.probe = false
+		}
+		p.deferred = true
+		return p
+	}
+	req = appendBatch(req, gids, idx, base, k)
+	if err := mc.send(sl, req); err != nil {
+		p.serr = err
+		return p
+	}
+	p.mc, p.sl, p.ct = mc, sl, getTimer()
+	return p
+}
+
+// Started reports whether the visit is actually on the wire. The engine
+// awaits started handles first: an unstarted handle's await issues a
+// fresh synchronous call, which may block for window capacity that only
+// the caller's own started handles will free.
+func (p *pendingBatch) Started() bool { return !p.deferred }
+
+// AwaitBatch collects a started visit: waits for the response, decodes
+// it, retries once synchronously on a transport failure (the same
+// reconnect-and-serve semantics as the synchronous path) and settles the
+// health circuit. It implements engine.BatchHandle.
+func (p *pendingBatch) AwaitBatch() (int, error) {
+	cl := p.cl
+	if p.wait != nil {
+		// Start found the circuit open behind another probe. That probe
+		// has settled by now (it was awaited before us, or belongs to
+		// another caller whose calls are time-bounded); adopt its
+		// outcome: fail typed while the circuit stays open, or run the
+		// whole call synchronously now that the shard is back.
+		wait, gids, idx, base, k, out, ns := p.wait, p.gids, p.idx, p.base, p.k, p.out, p.ns
+		p.recycle()
+		<-wait
+		if cl.open() {
+			return 0, cl.unavailable(nil)
+		}
+		return cl.sampleBatch(gids, idx, base, k, out, ns)
+	}
+	var total int
+	transport, err := false, error(nil)
+	switch {
+	case p.deferred:
+		// Nothing was sent; run the call now with the usual two attempts.
+		// The caller holds no window slots at this point (its started
+		// handles were awaited first), so blocking for capacity is safe.
+		total, transport, err = cl.batchAttempt(p.gids, p.idx, p.base, p.k, p.out, p.ns)
+	case p.mc == nil:
+		transport, err = true, p.serr
+	default:
+		body, aerr := p.mc.await(p.sl, p.ct)
+		putTimer(p.ct)
+		if aerr != nil {
+			var re *remoteError
+			if errors.As(aerr, &re) {
+				err = aerr
+			} else {
+				transport, err = true, aerr
+			}
+		} else {
+			total, err = decodeBatch(p.mc, p.sl, body, p.gids, p.idx, p.k, p.out, p.ns)
+		}
+	}
+	if err != nil && transport {
+		total, transport, err = cl.batchAttempt(p.gids, p.idx, p.base, p.k, p.out, p.ns)
+	}
+	cl.settle(p.probe, err != nil && transport)
+	p.recycle()
+	if err != nil && transport {
+		return 0, cl.unavailable(err)
+	}
+	return total, err
+}
+
+// recycle returns the handle to the pool.
+func (p *pendingBatch) recycle() {
+	*p = pendingBatch{}
+	pendingPool.Put(p)
+}
+
+// call runs one request/response cycle through the shared lifecycle —
+// circuit admission, slot acquisition on a pooled connection,
+// retry-once-on-fresh-connection, short-circuit on a server-answered
+// error. encode appends the request payload (nil for payload-free ops);
+// decode reads the response body while the slot is still held. The
+// zero-allocation hot paths (sample, sampleBatch) keep hand-rolled
+// copies of this scaffold because the closures here cost heap
+// allocations — fine for handshakes and attribute reads, not for the
+// per-request cycle.
 func (cl *Client) call(op Op, encode func([]byte) []byte, decode func(body []byte) error) error {
+	probe, gerr := cl.gate()
+	if gerr != nil {
+		return gerr
+	}
 	var lastErr error
+	failed := true
+	defer func() { cl.settle(probe, failed) }()
 	for attempt := 0; attempt < 2; attempt++ {
-		cn, err := cl.acquire(attempt > 0)
+		mc, err := cl.conn()
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		req := cn.begin(byte(op))
+		ct := getTimer()
+		sl, req, err := mc.acquire(op, ct)
+		if err != nil {
+			putTimer(ct)
+			lastErr = err
+			continue
+		}
 		if encode != nil {
 			req = encode(req)
 		}
-		body, err := cn.roundTrip(req, cl.timeout)
+		body, err := mc.roundTrip(sl, req, ct)
+		putTimer(ct)
 		if err != nil {
-			cn.c.Close()
 			var re *remoteError
 			if errors.As(err, &re) {
+				failed = false
 				return err
 			}
 			lastErr = err
 			continue
 		}
-		if err := decode(body); err != nil {
-			cn.c.Close()
-			return err
+		derr := decode(body)
+		mc.release(sl)
+		failed = false
+		if derr != nil {
+			// Undecodable response: the stream itself is suspect.
+			mc.fail(fmt.Errorf("rpc: malformed %v response: %v", op, derr))
+			return derr
 		}
-		cl.release(cn)
 		return nil
 	}
 	return cl.unavailable(lastErr)
@@ -355,8 +692,9 @@ func (cl *Client) Routing() (*partition.Routing, error) {
 
 // RemoteShard is the client-side stub for one partition served by a
 // shard server: an engine.ShardBackend whose reads happen over the wire.
-// Several stubs (one per owned partition) can share one Client and its
-// connection pool.
+// Several stubs (one per owned partition) share one Client and its
+// multiplexed connections, so concurrent visits to different partitions
+// of the same server pipeline onto the same sockets.
 type RemoteShard struct {
 	cl           *Client
 	shard        int
@@ -364,10 +702,13 @@ type RemoteShard struct {
 	requests     atomic.Int64
 }
 
-// The stub plugs into the routing layer exactly like an in-process shard.
+// The stub plugs into the routing layer exactly like an in-process
+// shard, and advertises the async seam the parallel scatter-gather path
+// prefers.
 var (
 	_ engine.ShardBackend = (*RemoteShard)(nil)
 	_ engine.BackendStats = (*RemoteShard)(nil)
+	_ engine.BatchStarter = (*RemoteShard)(nil)
 )
 
 // NewRemoteShard returns a stub for partition shard behind cl. nodes and
@@ -412,6 +753,14 @@ func (rs *RemoteShard) SampleBatchInto(gids []graph.NodeID, idx []int32, base ui
 	}
 	rs.requests.Add(int64(len(gids)))
 	return rs.cl.sampleBatch(gids, idx, base, k, out, ns)
+}
+
+// StartSampleBatch puts one scatter-gather visit on the wire without
+// waiting for it — engine.BatchStarter, the overlap mechanism of the
+// parallel batch path. The returned handle must be awaited.
+func (rs *RemoteShard) StartSampleBatch(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) engine.BatchHandle {
+	rs.requests.Add(int64(len(gids)))
+	return rs.cl.startBatch(gids, idx, base, k, out, ns)
 }
 
 // NeighborsOf fetches and decodes id's adjacency list (a fresh copy; the
@@ -500,11 +849,17 @@ type Cluster struct {
 	clients []*Client
 }
 
-// DialCluster connects to the given shard servers and assembles the
-// remote engine. Every partition must be owned by exactly one reachable
-// server (the first claimant wins when servers overlap); a partition no
-// server owns is an error.
+// DialCluster connects to the given shard servers with default pool
+// bounds and assembles the remote engine.
 func DialCluster(addrs ...string) (*Cluster, error) {
+	return DialClusterWith(ClientConfig{}, addrs...)
+}
+
+// DialClusterWith is DialCluster with explicit per-server pool bounds.
+// Every partition must be owned by exactly one reachable server (the
+// first claimant wins when servers overlap); a partition no server owns
+// is an error.
+func DialClusterWith(cfg ClientConfig, addrs ...string) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("rpc: no shard server addresses")
 	}
@@ -516,7 +871,7 @@ func DialCluster(addrs ...string) (*Cluster, error) {
 	var backends []engine.ShardBackend
 	var routing *partition.Routing
 	for i, addr := range addrs {
-		cl := NewClient(addr)
+		cl := NewClientWith(addr, cfg)
 		cluster.clients = append(cluster.clients, cl)
 		info, err := cl.Info()
 		if err != nil {
@@ -552,8 +907,12 @@ func DialCluster(addrs ...string) (*Cluster, error) {
 	return cluster, nil
 }
 
-// Close closes every client in the cluster.
+// Close shuts down the remote engine's fan-out workers and closes every
+// client in the cluster.
 func (c *Cluster) Close() error {
+	if c.Engine != nil {
+		c.Engine.Close()
+	}
 	for _, cl := range c.clients {
 		cl.Close()
 	}

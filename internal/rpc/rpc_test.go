@@ -366,6 +366,11 @@ func TestRemoteStats(t *testing.T) {
 // staging are all reused. Both ends run in this process, so the
 // measurement covers the full cycle.
 func TestRemoteHotPathDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		// The race detector makes sync.Pool drop items at random, so the
+		// pooled call timers and batch handles re-allocate spuriously.
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
 	g := buildGraph(t)
 	_, cluster := startCluster(t, g, 2, partition.Hash, [][]int{{0, 1}}, 1)
 	remote := cluster.Engine

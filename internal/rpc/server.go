@@ -1,11 +1,15 @@
 package rpc
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zoomer/internal/engine"
 	"zoomer/internal/graph"
@@ -19,21 +23,42 @@ type ServerConfig struct {
 	Strategy partition.Strategy // node-to-shard assignment
 	Owned    []int              // shard ids this server owns (nil = all)
 	Replicas int                // replicas per owned shard
+
+	// ConnWorkers bounds the concurrent request dispatch per connection
+	// (default 4): a multiplexing client pipelines many requests onto one
+	// socket, and this many are served at once, their responses written
+	// back tagged by request id in completion order.
+	ConnWorkers int
+	// ConnWindow bounds the decoded-but-unserved requests buffered per
+	// connection (default 64). The read loop blocks once it is full —
+	// backpressure against a client whose window outruns the server.
+	ConnWindow int
 }
+
+const (
+	defaultConnWorkers = 4
+	defaultConnWindow  = 64
+	handshakeTimeout   = 5 * time.Second
+)
 
 // Server owns the in-process stores for some partitions of a graph and
 // serves them over TCP. Construction does the heavy lifting of the
 // paper's deployment shard-side — partitioning and alias-table builds —
 // so a connecting client needs only the routing table. Every connection
-// is handled by its own goroutine with its own scratch; the shard stores
-// themselves are immutable and read lock-free, so connection concurrency
-// scales like in-process replica concurrency.
+// runs a preface handshake (loud protocol-version mismatch), then a read
+// loop feeding a bounded per-connection worker group: pipelined requests
+// dispatch concurrently and responses return tagged by request id, in
+// completion order. The shard stores themselves are immutable and read
+// lock-free, so dispatch concurrency scales like in-process replica
+// concurrency.
 type Server struct {
 	part       *partition.Partition
 	routing    []byte // marshaled routing table, shared by every Routing reply
 	shards     map[int]*engine.Shard
 	numNodes   int
 	contentDim int
+	workers    int
+	window     int
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -53,6 +78,17 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
 	}
+	if cfg.ConnWorkers <= 0 {
+		cfg.ConnWorkers = defaultConnWorkers
+	}
+	if cfg.ConnWindow <= 0 {
+		cfg.ConnWindow = defaultConnWindow
+	}
+	if cfg.ConnWindow < cfg.ConnWorkers {
+		// Every worker needs a slot to be able to hold a request; clamp
+		// to the worker count rather than overriding an explicit bound.
+		cfg.ConnWindow = cfg.ConnWorkers
+	}
 	part := partition.Split(g, cfg.Shards, cfg.Strategy)
 	blob, err := part.RoutingTable().MarshalBinary()
 	if err != nil {
@@ -71,6 +107,8 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 		shards:     make(map[int]*engine.Shard, len(owned)),
 		numNodes:   g.NumNodes(),
 		contentDim: g.ContentDim(),
+		workers:    cfg.ConnWorkers,
+		window:     cfg.ConnWindow,
 		conns:      make(map[net.Conn]struct{}),
 	}
 	for _, id := range owned {
@@ -168,7 +206,7 @@ func (s *Server) OwnedShards() []int {
 	return out
 }
 
-// serverConn is one connection's scratch: framing buffers plus the
+// serverConn is one dispatch worker's scratch: framing buffers plus the
 // decode/sample staging reused across requests, so a healthy
 // sample/batch request cycle allocates nothing server-side.
 type serverConn struct {
@@ -180,6 +218,50 @@ type serverConn struct {
 	r    rng.RNG
 }
 
+// reqSlot is one buffered request: its id and a copy of [op | payload]
+// (the read loop's frame buffer is reused for the next frame before the
+// dispatch worker runs). Slot buffers are reused across requests.
+type reqSlot struct {
+	id  uint64
+	buf []byte
+}
+
+// handshake runs the server side of the preface exchange. A peer that
+// does not speak the preface — a protocol-1 client whose first bytes are
+// a bare frame — is answered with an old-style error frame naming the
+// mismatch (which a v1 client surfaces as a remote error) and dropped.
+func (s *Server) handshake(c net.Conn) bool {
+	var pre [prefaceLen]byte
+	c.SetDeadline(time.Now().Add(handshakeTimeout))
+	defer c.SetDeadline(time.Time{})
+	// Read the 4-byte magic alone first: a protocol-1 client's first
+	// bytes are a bare frame header, possibly of a request shorter than
+	// the full preface, and it must not be left hanging for more bytes.
+	if _, err := io.ReadFull(c, pre[:4]); err != nil {
+		return false
+	}
+	version := uint32(0)
+	if [4]byte{pre[0], pre[1], pre[2], pre[3]} == prefaceMagic {
+		if _, err := io.ReadFull(c, pre[4:]); err != nil {
+			return false
+		}
+		version = binary.LittleEndian.Uint32(pre[4:8])
+	}
+	if version != ProtocolVersion {
+		msg := fmt.Sprintf("protocol version mismatch: server speaks v%d; upgrade the client", ProtocolVersion)
+		// Old-style frame: u32 length, status byte, error text — the one
+		// shape a pre-multiplexing client can decode.
+		reply := make([]byte, 4, 5+len(msg))
+		reply = append(reply, statusErr)
+		reply = append(reply, msg...)
+		binary.LittleEndian.PutUint32(reply[:4], uint32(len(reply)-4))
+		c.Write(reply)
+		return false
+	}
+	_, err := c.Write(appendPreface(pre[:0], ProtocolVersion))
+	return err == nil
+}
+
 func (s *Server) handle(c net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -188,26 +270,89 @@ func (s *Server) handle(c net.Conn) {
 		delete(s.conns, c)
 		s.mu.Unlock()
 	}()
-	sc := &serverConn{}
+	if !s.handshake(c) {
+		return
+	}
+
+	// Bounded per-connection dispatch: the read loop decodes frames into
+	// pooled request slots (a LIFO free list keeps the warm-buffer set
+	// small) and the workers serve them concurrently, writing responses
+	// under a shared write lock. Workers start lazily: while the
+	// connection has exactly one request outstanding and no more input
+	// buffered — the request-at-a-time steady state — the read loop
+	// serves inline, skipping the handoff entirely; a pipelined burst
+	// spills to the worker group and overlaps.
+	slots := make([]reqSlot, s.window)
+	free := newSlotStack(s.window)
+	var reqs chan int32
+	var inflight atomic.Int32
+	var wmu sync.Mutex
+	var cwg sync.WaitGroup
+	startWorkers := func() {
+		reqs = make(chan int32, s.window)
+		for w := 0; w < s.workers; w++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				sc := &serverConn{}
+				for idx := range reqs {
+					s.serve(c, &slots[idx], sc, &wmu)
+					inflight.Add(-1)
+					free.push(idx)
+				}
+			}()
+		}
+	}
+
+	var fs frameScratch
+	inline := &serverConn{}
+	var inlineSlot reqSlot
+	br := bufio.NewReaderSize(c, readBufSize)
 	for {
-		body, err := sc.readFrame(c)
-		if err != nil {
-			return // peer gone or corrupt framing; drop the connection
+		body, err := fs.readFrame(br)
+		if err != nil || len(body) < 9 {
+			break // peer gone or corrupt framing; drop the connection
 		}
-		if len(body) == 0 {
-			return
+		if inflight.Load() == 0 && br.Buffered() == 0 {
+			// Borrowing the frame buffer is safe: the inline serve
+			// completes before the next readFrame reuses it.
+			inlineSlot.id = binary.LittleEndian.Uint64(body[:8])
+			inlineSlot.buf = body[8:]
+			s.serve(c, &inlineSlot, inline, &wmu)
+			continue
 		}
-		op := Op(body[0])
-		if op < numOps {
-			s.opCounts[op].Add(1)
+		idx, _ := free.pop(nil)
+		sl := &slots[idx]
+		sl.id = binary.LittleEndian.Uint64(body[:8])
+		sl.buf = append(sl.buf[:0], body[8:]...)
+		inflight.Add(1)
+		if reqs == nil {
+			startWorkers()
 		}
-		resp, err := s.dispatch(op, body[1:], sc)
-		if err != nil {
-			resp = append(sc.begin(statusErr), err.Error()...)
-		}
-		if err := sc.writeFrame(c, resp); err != nil {
-			return
-		}
+		reqs <- idx
+	}
+	if reqs != nil {
+		close(reqs)
+	}
+	cwg.Wait()
+}
+
+// serve dispatches one request and writes its response frame.
+func (s *Server) serve(c net.Conn, sl *reqSlot, sc *serverConn, wmu *sync.Mutex) {
+	op := Op(sl.buf[0])
+	if op < numOps {
+		s.opCounts[op].Add(1)
+	}
+	resp, err := s.dispatch(op, sl.buf[1:], sc)
+	if err != nil {
+		resp = append(sc.begin(statusErr), err.Error()...)
+	}
+	wmu.Lock()
+	c.SetWriteDeadline(time.Now().Add(DefaultTimeout))
+	werr := sc.writeFrame(c, resp, sl.id)
+	wmu.Unlock()
+	if werr != nil {
+		c.Close() // unblocks the read loop; the connection is done
 	}
 }
 

@@ -6,21 +6,27 @@
 // those stores into the Engine routing layer behind the same
 // engine.ShardBackend seam the in-process shards use.
 //
-// The protocol is a compact length-prefixed binary framing over TCP. A
-// frame is a little-endian uint32 body length followed by the body; a
-// request body is [op byte | payload], a response body is
-// [status byte | payload] where status 0 carries the op's result and
-// status 1 carries an error string. One request is answered by exactly
-// one response, in order, per connection; concurrency comes from the
-// client's connection pool, not from multiplexing.
+// The protocol (version 2) is a compact binary framing over TCP with
+// full-duplex multiplexing. A connection opens with an 8-byte preface
+// exchange (magic + version, rejected loudly on mismatch); after that a
+// frame is a little-endian uint32 body length followed by the body, and
+// every body starts with a uint64 request id: a request body is
+// [u64 id | op byte | payload], a response body is
+// [u64 id | status byte | payload] where status 0 carries the op's
+// result and status 1 carries an error string. Many requests may be in
+// flight per connection at once — responses are matched by id and may
+// arrive in any order, so N concurrent callers share a small bounded
+// pool of pipelined connections instead of checking a connection out per
+// call. The server dispatches each connection's requests across a
+// bounded worker group, overlapping shard reads behind one socket.
 //
 // Determinism across the wire is the load-bearing property: RNG state
 // (single samples) or the derived-sub-stream base (batches) travels in
 // the request and every draw happens shard-side, so a remote engine is
 // bit-identical to an in-process one — the loopback equivalence tests pin
 // this down. The scatter-gather batch call maps one shard visit onto one
-// round trip, and both ends reuse per-connection encode/decode scratch so
-// the steady-state sample/batch path performs no heap allocation.
+// round trip, and both ends reuse per-slot encode/decode scratch so the
+// steady-state sample/batch path performs no heap allocation.
 package rpc
 
 import (
@@ -29,6 +35,36 @@ import (
 	"io"
 	"net"
 )
+
+// Protocol preface: immediately after dialing, the client writes the
+// 8-byte preface (magic + little-endian version) and the server answers
+// with its own. Either side failing the exchange closes the connection
+// with a loud error instead of exchanging misframed bytes: a version-1
+// client hitting a version-2 server receives an old-style error frame
+// (its own framing) naming the mismatch, and a version-2 client hitting
+// a pre-preface server fails the handshake instead of hanging.
+const (
+	// ProtocolVersion is the wire protocol version this build speaks.
+	ProtocolVersion = 2
+	prefaceLen      = 8
+)
+
+var prefaceMagic = [4]byte{'Z', 'M', 'R', 'P'}
+
+// appendPreface composes the preface for the given version.
+func appendPreface(b []byte, version uint32) []byte {
+	b = append(b, prefaceMagic[:]...)
+	return appendU32(b, version)
+}
+
+// parsePreface validates an 8-byte preface and returns the peer version.
+func parsePreface(p []byte) (uint32, error) {
+	if len(p) != prefaceLen || p[0] != prefaceMagic[0] || p[1] != prefaceMagic[1] ||
+		p[2] != prefaceMagic[2] || p[3] != prefaceMagic[3] {
+		return 0, fmt.Errorf("rpc: peer did not send the protocol preface (speaks protocol version 1?)")
+	}
+	return binary.LittleEndian.Uint32(p[4:8]), nil
+}
 
 // Op identifies a request type on the wire; exported so tests and
 // monitoring can read per-op server counters.
@@ -79,9 +115,15 @@ const (
 	// responses of ~batch×k×4 bytes and degree-balanced routing tables of
 	// 8 bytes per node).
 	maxFrame = 1 << 28
+
+	// readBufSize sizes the buffered reader both ends put in front of the
+	// socket: large enough that a typical batch frame — and usually a few
+	// pipelined ones — arrives in one kernel read. Frames larger than the
+	// buffer still work (bufio reads them straight into the target).
+	readBufSize = 32 << 10
 )
 
-// frameScratch is the per-connection framing state both ends reuse: the
+// frameScratch is the per-worker framing state both ends reuse: the
 // 4-byte length header and growable read/write buffers, so steady-state
 // framing allocates nothing.
 type frameScratch struct {
@@ -90,26 +132,30 @@ type frameScratch struct {
 	wbuf []byte
 }
 
-// begin starts composing a frame body in the reusable write buffer,
-// leaving the 4-byte length hole at the front. Append payload bytes to
-// the returned slice, then hand it to writeFrame.
+// begin starts composing a version-2 frame body in the reusable write
+// buffer, leaving the 4-byte length hole and the 8-byte request-id hole
+// at the front. Append payload bytes to the returned slice, then hand it
+// to writeFrame with the id the frame answers.
 func (fs *frameScratch) begin(tag byte) []byte {
-	b := append(fs.wbuf[:0], 0, 0, 0, 0, tag)
+	b := append(fs.wbuf[:0], 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, tag)
 	return b
 }
 
-// writeFrame seals the length header and writes the frame in one call.
-// It stores buf back into the scratch so capacity growth is kept.
-func (fs *frameScratch) writeFrame(c net.Conn, buf []byte) error {
+// writeFrame seals the length header and request id and writes the frame
+// in one call. It stores buf back into the scratch so capacity growth is
+// kept. Callers serialize writes to c themselves (the server's response
+// write lock; the client's per-connection write lock).
+func (fs *frameScratch) writeFrame(c net.Conn, buf []byte, id uint64) error {
 	fs.wbuf = buf
 	binary.LittleEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	binary.LittleEndian.PutUint64(buf[4:12], id)
 	_, err := c.Write(buf)
 	return err
 }
 
 // readFrame reads one length-prefixed frame body into the reusable read
 // buffer and returns it (valid until the next readFrame on this scratch).
-func (fs *frameScratch) readFrame(c net.Conn) ([]byte, error) {
+func (fs *frameScratch) readFrame(c io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(c, fs.hdr[:]); err != nil {
 		return nil, err
 	}

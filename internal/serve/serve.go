@@ -13,7 +13,11 @@
 // one shard visit), synchronous miss fills are single-flighted per id,
 // and every server worker owns an EmbedScratch and an ann.SearchScratch
 // so request embedding and index search perform zero heap allocations at
-// steady state.
+// steady state. Over remote shards, every refresher and miss fill shares
+// the engine's multiplexed RPC connections rather than checking one out
+// per call, so segment refresh batches overlap freely with synchronous
+// miss fills and with each other on the same sockets — a refresher never
+// holds a connection hostage while a user request waits.
 package serve
 
 import (
@@ -267,8 +271,11 @@ func (c *NeighborCache) newEntry(seg *cacheSegment) *Entry {
 
 // refresher drains one segment's queue, batching up to refreshBatch ids
 // into a single engine batch call. The segment's ids all live on one
-// shard, so each drained batch is exactly one shard visit — and were the
-// shard remote, one RPC by a single-peer client.
+// shard, so each drained batch is exactly one shard visit — over a
+// remote shard, one request pipelined onto the shared multiplexed
+// connections, overlapping with every other segment's refreshes and
+// with synchronous miss fills instead of serializing behind a
+// checked-out connection.
 func (c *NeighborCache) refresher(seg *cacheSegment, seed uint64) {
 	defer c.wg.Done()
 	r := rng.New(seed)
