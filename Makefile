@@ -1,9 +1,10 @@
 # Tier-1 verification and perf tooling for the Zoomer reproduction.
 
-.PHONY: verify test race bench bench-compare ci
+.PHONY: verify test race bench bench-compare docs-check ci
 
-# The full CI gate: tier-1 verify, race hammer, perf regression check.
-ci: verify race bench-compare
+# The full CI gate: tier-1 verify, race hammer, perf regression check,
+# documentation link check.
+ci: verify race bench-compare docs-check
 
 # The tier-1 loop: vet + build + test.
 verify:
@@ -27,3 +28,7 @@ bench:
 # allocation) in the BenchmarkHotPath* benches vs the committed JSON.
 bench-compare:
 	./bench_compare.sh
+
+# Fail on broken intra-repo links in *.md (docs/, READMEs, ROADMAP...).
+docs-check:
+	./docs_check.sh

@@ -22,6 +22,13 @@
 // connection. A server that stops answering trips a consecutive-failure
 // circuit — one probe call redials at a time while the rest fail fast
 // with typed errors — instead of every caller redialing per call.
+//
+// Shard ownership may move between the dialed servers at runtime
+// (zoomer-shard -admin -acquire/-release): the serving tier follows the
+// handoff on its own — the first request hitting a drained partition is
+// redirected, ownership is re-resolved and the request retried against
+// the new owner — so draining a shard server for maintenance needs no
+// restart here. See docs/OPERATIONS.md.
 package main
 
 import (
@@ -118,8 +125,8 @@ func main() {
 			os.Exit(1)
 		}
 		eng = cluster.Engine
-		fmt.Printf("engine: %d remote shards (%s partitioning) behind %d servers\n",
-			eng.NumShards(), cluster.Info.Strategy, len(addrs))
+		fmt.Printf("engine: %d remote shards (%s partitioning, routing epoch %d) behind %d servers\n",
+			eng.NumShards(), cluster.Info.Strategy, eng.Routing().Epoch(), len(addrs))
 	} else {
 		eng = engine.New(g, engine.Config{Shards: *shards, Replicas: *replicas, Strategy: strat})
 	}

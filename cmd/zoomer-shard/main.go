@@ -20,6 +20,24 @@
 // are dispatched concurrently and -rpc-window how many may queue behind
 // them. A client that speaks the old one-request-per-connection protocol
 // is rejected loudly at the preface handshake.
+//
+// # Admin mode: live shard handoff
+//
+// With -admin the binary acts as an admin client to a running server
+// instead of serving itself: -acquire/-release send reassign commands
+// that move partitions in and out of the server's served set at runtime,
+// and -status prints the server's routing epoch and owned partitions.
+// To migrate partition 1 from the :7001 server to the :7002 server with
+// zero downtime, acquire on the destination before draining the source:
+//
+//	zoomer-shard -admin localhost:7002 -acquire 1
+//	zoomer-shard -admin localhost:7001 -release 1
+//
+// A serving tier attached with zoomer-serve -remote follows the move on
+// its own: the first request that hits the drained server is answered
+// with a wrong-epoch redirect, the tier re-resolves ownership across its
+// servers and retries — no restart, no failed requests, bit-identical
+// draws (see docs/OPERATIONS.md for the full runbook).
 package main
 
 import (
@@ -30,6 +48,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"zoomer/internal/graph"
 	"zoomer/internal/graphbuild"
@@ -49,7 +68,21 @@ func main() {
 	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
 	rpcWorkers := flag.Int("rpc-workers", 0, "concurrent request dispatch per connection (0 = default 4)")
 	rpcWindow := flag.Int("rpc-window", 0, "buffered requests per connection before the read loop blocks (0 = default 64)")
+	admin := flag.String("admin", "", "admin mode: address of a running zoomer-shard to command instead of serving")
+	acquire := flag.String("acquire", "", "comma-separated partition ids the -admin server should acquire")
+	release := flag.String("release", "", "comma-separated partition ids the -admin server should drain")
+	status := flag.Bool("status", false, "with -admin: print the server's routing epoch and owned partitions")
+	adminTimeout := flag.Duration("admin-timeout", 5*time.Minute,
+		"per-command deadline in admin mode (an acquire blocks while the server builds the partition's alias tables)")
 	flag.Parse()
+
+	if *admin != "" {
+		os.Exit(runAdmin(*admin, *acquire, *release, *status, *adminTimeout))
+	}
+	if *acquire != "" || *release != "" || *status {
+		fmt.Fprintln(os.Stderr, "-acquire/-release/-status require -admin <addr>")
+		os.Exit(2)
+	}
 
 	strat, err := partition.ParseStrategy(*strategy)
 	if err != nil {
@@ -118,4 +151,73 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	srv.Close()
+}
+
+// parseIDList parses a comma-separated partition id list.
+func parseIDList(flagName, s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ids []int
+	for _, f := range strings.Split(s, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad %s entry %q: %v", flagName, f, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// runAdmin drives a running shard server: acquire partitions first, then
+// drain (the order a zero-downtime handoff needs when both lists target
+// the same server), then report status. The generous default deadline
+// covers the server-side alias-table build an acquire blocks on — the
+// default RPC timeout would falsely fail a large acquire that is in
+// fact succeeding. Returns the process exit code.
+func runAdmin(addr, acquire, release string, status bool, timeout time.Duration) int {
+	acq, err := parseIDList("-acquire", acquire)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rel, err := parseIDList("-release", release)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(acq) == 0 && len(rel) == 0 && !status {
+		fmt.Fprintln(os.Stderr, "-admin needs -acquire, -release or -status")
+		return 2
+	}
+	cl := rpc.NewClientWith(addr, rpc.ClientConfig{Timeout: timeout})
+	defer cl.Close()
+	for _, id := range acq {
+		epoch, err := cl.Reassign(id, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "acquire %d on %s: %v\n", id, addr, err)
+			return 1
+		}
+		fmt.Printf("%s acquired partition %d (routing epoch %d)\n", addr, id, epoch)
+	}
+	for _, id := range rel {
+		epoch, err := cl.Reassign(id, false)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "release %d on %s: %v\n", id, addr, err)
+			return 1
+		}
+		fmt.Printf("%s drained partition %d (routing epoch %d)\n", addr, id, epoch)
+	}
+	if status {
+		epoch, owned, err := cl.RoutingEpoch()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "status of %s: %v\n", addr, err)
+			return 1
+		}
+		fmt.Printf("%s routing epoch %d, %d partitions:\n", addr, epoch, len(owned))
+		for _, sh := range owned {
+			fmt.Printf("  partition %d: %d nodes, %d edges\n", sh.ID, sh.Nodes, sh.Edges)
+		}
+	}
+	return 0
 }

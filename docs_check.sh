@@ -1,0 +1,33 @@
+#!/bin/sh
+# docs-check: fail on broken intra-repo links in tracked Markdown files.
+#
+# Every inline Markdown link target [text](target) that is not an
+# external URL or a pure in-page anchor must resolve to a file or
+# directory relative to the linking file (anchors are stripped before
+# the check). Chained into `make ci` so a doc move or rename cannot
+# silently orphan references.
+set -eu
+
+fail=0
+for f in $(git ls-files '*.md'); do
+	dir=$(dirname "$f")
+	# One link target per line: grab "](target)" and strip the wrapping.
+	for link in $(grep -oE '\]\([^() ]+\)' "$f" | sed -e 's/^](//' -e 's/)$//'); do
+		case "$link" in
+		http://* | https://* | mailto:*) continue ;; # external
+		\#*) continue ;;                             # in-page anchor
+		esac
+		target=${link%%#*}
+		[ -z "$target" ] && continue
+		if [ ! -e "$dir/$target" ]; then
+			echo "docs-check: $f: broken link -> $link" >&2
+			fail=1
+		fi
+	done
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "docs-check: FAILED" >&2
+	exit 1
+fi
+echo "docs-check: all intra-repo Markdown links resolve"

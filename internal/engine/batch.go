@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -113,7 +114,11 @@ func entrySeed(base uint64, i int) uint64 {
 // On a backend failure (a remote shard down mid-batch) every count in ns
 // is zeroed and a typed error — satisfying
 // errors.Is(err, rpc.ErrShardUnavailable) for transport failures — is
-// returned: no partial results survive.
+// returned: no partial results survive. A wrong-epoch redirect (a shard
+// drained by a live handoff) is not surfaced: the engine refreshes its
+// ownership view once and re-runs the batch with the same base, so the
+// retried draws are bit-identical to what a static cluster would have
+// produced.
 func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph.NodeID, ns []int32, r *rng.RNG, bs *BatchScratch) (int, error) {
 	if k <= 0 {
 		// Zero the counts so callers reading ns see "no draws" rather
@@ -131,9 +136,26 @@ func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph
 	}
 	bs = bs.orNew()
 	base := r.Uint64()
+	set := e.bset.Load()
+	total, err := e.batchVisits(set, ids, base, k, out, ns, bs)
+	for retry := 0; retry < maxEpochRetries && err != nil && errors.Is(err, ErrWrongEpoch) && e.refresh(set); retry++ {
+		// The shard moved mid-batch. Every count was zeroed, the base is
+		// in hand and sub-streams derive from (base, entry index) alone,
+		// so re-running the whole batch against the refreshed view yields
+		// exactly the draws an up-to-date caller would have seen.
+		set = e.bset.Load()
+		total, err = e.batchVisits(set, ids, base, k, out, ns, bs)
+	}
+	return total, err
+}
 
+// batchVisits runs one scatter-gather pass over a fixed ownership view:
+// group by owning shard, visit each owning backend exactly once
+// (overlapping remote visits), merge. On any visit error every count in
+// ns is zeroed before the error is returned.
+func (e *Engine) batchVisits(set *backendSet, ids []graph.NodeID, base uint64, k int, out []graph.NodeID, ns []int32, bs *BatchScratch) (int, error) {
 	// Counting sort entry indices (and their node ids) by owning shard.
-	counts, order, gids := bs.groupBufs(len(ids), len(e.backends))
+	counts, order, gids := bs.groupBufs(len(ids), len(set.backends))
 	for _, id := range ids {
 		counts[e.routing.Owner(id)+1]++
 	}
@@ -151,11 +173,11 @@ func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph
 	// Count the remote groups to decide between the inline path and the
 	// parallel fan-out.
 	remoteGroups := 0
-	if e.hasRemote {
+	if set.hasRemote {
 		start := int32(0)
-		for si := range e.backends {
+		for si := range set.backends {
 			end := counts[si]
-			if end > start && e.locals[si] == nil {
+			if end > start && set.locals[si] == nil {
 				remoteGroups++
 			}
 			start = end
@@ -168,7 +190,7 @@ func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph
 		// single-remote-group case, where fan-out buys nothing.
 		total := 0
 		start := int32(0)
-		for si, be := range e.backends {
+		for si, be := range set.backends {
 			end := counts[si]
 			if end == start {
 				continue
@@ -196,13 +218,13 @@ func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph
 	// disjoint regions of out/ns, so no synchronization beyond the
 	// barrier/awaits is needed and the merged result is bit-identical to
 	// the sequential path.
-	visits, handles := bs.visitBufs(len(e.backends))
+	visits, handles := bs.visitBufs(len(set.backends))
 	pooled := 0
 	start := int32(0)
-	for si := range e.backends {
+	for si := range set.backends {
 		end := counts[si]
-		if end > start && e.locals[si] == nil {
-			if starter, ok := e.backends[si].(BatchStarter); ok {
+		if end > start && set.locals[si] == nil {
+			if starter, ok := set.backends[si].(BatchStarter); ok {
 				handles[si] = starter.StartSampleBatch(gids[start:end], order[start:end], base, k, out, ns)
 			} else {
 				pooled++
@@ -214,11 +236,11 @@ func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph
 		e.startFanout()
 		bs.wg.Add(pooled)
 		start = 0
-		for si := range e.backends {
+		for si := range set.backends {
 			end := counts[si]
-			if end > start && e.locals[si] == nil && handles[si] == nil {
+			if end > start && set.locals[si] == nil && handles[si] == nil {
 				e.fanoutCh <- visitJob{
-					be:   e.backends[si],
+					be:   set.backends[si],
 					gids: gids[start:end],
 					idx:  order[start:end],
 					base: base,
@@ -233,10 +255,10 @@ func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph
 		}
 	}
 	start = 0
-	for si := range e.backends {
+	for si := range set.backends {
 		end := counts[si]
-		if end > start && e.locals[si] != nil {
-			visits[si].n, visits[si].err = e.locals[si].SampleBatchInto(gids[start:end], order[start:end], base, k, out, ns)
+		if end > start && set.locals[si] != nil {
+			visits[si].n, visits[si].err = set.locals[si].SampleBatchInto(gids[start:end], order[start:end], base, k, out, ns)
 		}
 		start = end
 	}

@@ -23,6 +23,15 @@
 // independently counted region, as in the single-box benchmarks) or on
 // separate shard servers over TCP, exactly as in the paper's deployment.
 //
+// Shard ownership is dynamic: the Engine publishes its per-shard
+// backends as an immutable set behind an atomic, epoch-checked pointer,
+// so a live handoff (a partition migrating between shard servers) swaps
+// the set with InstallBackends while the hot path keeps reading it with
+// a single load. In-flight calls complete against the set they loaded;
+// a call that lands on a drained shard gets the typed ErrWrongEpoch
+// redirect, which triggers the installed RefreshFunc once and a bounded
+// retry — handoffs never surface to callers (see docs/ARCHITECTURE.md).
+//
 // Error contract: batch calls (SampleNeighborsBatchInto, SampleTree) and
 // TrySampleNeighborsInto return transport failures as typed errors with
 // no partial-result corruption. The error-free GraphService surface
@@ -32,15 +41,25 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"zoomer/internal/graph"
 	"zoomer/internal/partition"
 	"zoomer/internal/rng"
 	"zoomer/internal/tensor"
 )
+
+// ErrWrongEpoch is the typed redirect a backend returns when a request
+// lands on a server that has drained the partition (or never owned it):
+// the caller's shard-ownership view is stale. The engine reacts by
+// running its installed RefreshFunc once and retrying the call against
+// the refreshed backends, so a planned shard handoff never surfaces to
+// callers; backends wrap this error (check with errors.Is).
+var ErrWrongEpoch = errors.New("engine: shard ownership moved (stale routing epoch)")
 
 // GraphService is the read surface of one graph store: weighted neighbor
 // sampling plus the node attribute reads the samplers and the serving
@@ -138,21 +157,46 @@ type Config struct {
 // DefaultConfig mirrors a small production deployment.
 func DefaultConfig() Config { return Config{Shards: 4, Replicas: 2, Strategy: partition.Hash} }
 
+// backendSet is one immutable view of shard ownership: which store
+// serves each partition right now. The Engine publishes it behind an
+// atomic pointer so the hot path reads it with a single load — no lock —
+// and a live handoff installs a whole new set in one store. A caller
+// that loaded a set keeps using it for the duration of its call:
+// in-flight batches complete against the backends they started on, and
+// only the next call observes the swap.
+type backendSet struct {
+	epoch     uint64         // local install counter; bumps on every swap
+	backends  []ShardBackend // one per partition
+	locals    []*Shard       // locals[i] non-nil iff backends[i] is in-process
+	hasRemote bool
+}
+
+// RefreshFunc re-resolves shard ownership after a wrong-epoch redirect,
+// typically by querying every shard server's routing epoch and calling
+// InstallBackends with the new binding (internal/rpc's Cluster installs
+// exactly that). It must be safe to call from multiple engine paths; the
+// engine itself single-flights it per stale snapshot.
+type RefreshFunc func() error
+
 // Engine is the routing layer over the per-shard stores.
 type Engine struct {
 	g        *graph.Graph // nil when every backend is remote
 	routing  *partition.Routing
-	backends []ShardBackend
-	locals   []*Shard // locals[i] non-nil iff backends[i] is in-process
+	bset     atomic.Pointer[backendSet] // current shard-ownership view
 	replicas int
 
 	numNodes   int
 	contentDim int
 
+	// Ownership refresh state: the installed refresher and the lock that
+	// single-flights it (never taken on the hot path — only after a
+	// wrong-epoch redirect).
+	refreshMu sync.Mutex
+	refreshFn RefreshFunc
+
 	// Parallel scatter-gather state (engines with remote backends only):
 	// a lazily started, bounded pool of fan-out workers that dispatch a
 	// batch's per-shard visits concurrently, plus lifecycle guards.
-	hasRemote  bool
 	fanoutOnce sync.Once
 	fanoutCh   chan visitJob
 	closeOnce  sync.Once
@@ -189,7 +233,7 @@ const maxFanoutWorkers = 64
 // and a few callers overlap, capped to keep goroutine count bounded.
 func (e *Engine) startFanout() {
 	e.fanoutOnce.Do(func() {
-		n := 4 * len(e.backends)
+		n := 4 * e.routing.NumShards()
 		if n < 4 {
 			n = 4
 		}
@@ -240,13 +284,14 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		numNodes:   g.NumNodes(),
 		contentDim: g.ContentDim(),
 	}
-	e.locals = make([]*Shard, cfg.Shards)
-	e.backends = make([]ShardBackend, cfg.Shards)
-	for i := range e.locals {
-		e.locals[i] = newShard(i, part, cfg.Replicas)
-		e.backends[i] = e.locals[i]
+	locals := make([]*Shard, cfg.Shards)
+	backends := make([]ShardBackend, cfg.Shards)
+	for i := range locals {
+		locals[i] = newShard(i, part, cfg.Replicas)
+		backends[i] = locals[i]
 	}
-	buildShardTables(e.locals)
+	buildShardTables(locals)
+	e.bset.Store(&backendSet{backends: backends, locals: locals})
 	return e
 }
 
@@ -264,23 +309,92 @@ func NewWithBackends(routing *partition.Routing, backends []ShardBackend, conten
 	}
 	e := &Engine{
 		routing:    routing,
-		backends:   backends,
-		locals:     make([]*Shard, len(backends)),
 		replicas:   1,
 		numNodes:   routing.NumNodes(),
 		contentDim: contentDim,
 	}
-	for i, be := range backends {
-		if s, ok := be.(*Shard); ok {
-			e.locals[i] = s
-			if len(s.replicas) > e.replicas {
-				e.replicas = len(s.replicas)
-			}
-		} else {
-			e.hasRemote = true
+	set := newBackendSet(0, backends)
+	for _, s := range set.locals {
+		if s != nil && len(s.replicas) > e.replicas {
+			e.replicas = len(s.replicas)
 		}
 	}
+	e.bset.Store(set)
 	return e
+}
+
+// newBackendSet classifies backends into an immutable ownership view.
+func newBackendSet(epoch uint64, backends []ShardBackend) *backendSet {
+	set := &backendSet{
+		epoch:    epoch,
+		backends: backends,
+		locals:   make([]*Shard, len(backends)),
+	}
+	for i, be := range backends {
+		if s, ok := be.(*Shard); ok {
+			set.locals[i] = s
+		} else {
+			set.hasRemote = true
+		}
+	}
+	return set
+}
+
+// InstallBackends atomically replaces the engine's per-shard backends —
+// the client half of a live shard handoff. backends must have one entry
+// per partition of the routing table (the node-to-shard assignment never
+// changes; only which store serves a shard does). Calls already in
+// flight complete against the set they loaded; every subsequent call
+// routes through the new one. The slice is copied; the caller may reuse
+// it. Safe for concurrent use: the epoch advances by exactly one per
+// install (CAS loop), so concurrent installers never collapse onto one
+// epoch.
+func (e *Engine) InstallBackends(backends []ShardBackend) {
+	if len(backends) != e.routing.NumShards() {
+		panic(fmt.Sprintf("engine: InstallBackends with %d backends for %d shards",
+			len(backends), e.routing.NumShards()))
+	}
+	set := newBackendSet(0, append([]ShardBackend(nil), backends...))
+	for {
+		old := e.bset.Load()
+		set.epoch = old.epoch + 1
+		if e.bset.CompareAndSwap(old, set) {
+			return
+		}
+	}
+}
+
+// SetRefresh installs the ownership refresher the engine runs (once per
+// stale view, then retrying the failed call) when a backend answers with
+// ErrWrongEpoch. Engines assembled by rpc.DialCluster get one installed
+// automatically; without one a wrong-epoch redirect surfaces to the
+// caller like any other backend error.
+func (e *Engine) SetRefresh(fn RefreshFunc) {
+	e.refreshMu.Lock()
+	e.refreshFn = fn
+	e.refreshMu.Unlock()
+}
+
+// Epoch returns the engine's local backend-install counter: 0 at
+// construction, +1 per InstallBackends. Tests and monitoring use it to
+// observe that a handoff-triggered refresh actually happened.
+func (e *Engine) Epoch() uint64 { return e.bset.Load().epoch }
+
+// refresh single-flights the installed refresher after a call against
+// stale observed a wrong-epoch redirect. It reports whether the caller
+// should retry: true when the ownership view changed (by the refresher,
+// or concurrently by another caller's refresh), false when no refresher
+// is installed or it failed.
+func (e *Engine) refresh(stale *backendSet) bool {
+	e.refreshMu.Lock()
+	defer e.refreshMu.Unlock()
+	if e.bset.Load() != stale {
+		return true // another caller already moved the view forward
+	}
+	if e.refreshFn == nil {
+		return false
+	}
+	return e.refreshFn() == nil
 }
 
 // BuildShard constructs the in-process store for one partition of part
@@ -338,7 +452,7 @@ func (e *Engine) NumNodes() int { return e.numNodes }
 func (e *Engine) ContentDim() int { return e.contentDim }
 
 // NumShards returns the number of partitions.
-func (e *Engine) NumShards() int { return len(e.backends) }
+func (e *Engine) NumShards() int { return e.routing.NumShards() }
 
 // Routing returns the node-to-shard routing table.
 func (e *Engine) Routing() *partition.Routing { return e.routing }
@@ -347,12 +461,13 @@ func (e *Engine) Routing() *partition.Routing { return e.routing }
 // O(1) arithmetic (hash partitioning) or one array read (degree-balanced).
 func (e *Engine) ShardOf(id graph.NodeID) int { return e.routing.Owner(id) }
 
-// Shard returns the in-process store for one partition, nil when that
-// partition is served by a remote backend.
-func (e *Engine) Shard(i int) *Shard { return e.locals[i] }
+// Shard returns the in-process store currently serving one partition,
+// nil when that partition is served by a remote backend.
+func (e *Engine) Shard(i int) *Shard { return e.bset.Load().locals[i] }
 
-// Backend returns partition i's store as the routing layer holds it.
-func (e *Engine) Backend(i int) ShardBackend { return e.backends[i] }
+// Backend returns partition i's store as the routing layer currently
+// holds it (the live ownership view; a handoff swaps it).
+func (e *Engine) Backend(i int) ShardBackend { return e.bset.Load().backends[i] }
 
 // must surfaces a backend failure on the error-free GraphService surface;
 // see the package comment's error contract.
@@ -363,21 +478,42 @@ func must[T any](v T, err error) T {
 	return v
 }
 
+// maxEpochRetries bounds how many ownership views one call will chase: a
+// wrong-epoch redirect triggers one refresh of the stale view and a
+// retry, and a retry that lands in the middle of yet another migration
+// may refresh again — but a call never loops unboundedly on a cluster
+// that keeps moving the same shard out from under it.
+const maxEpochRetries = 3
+
+// retryRead runs one single-node backend read against the current
+// ownership view, refreshing the view and retrying (bounded) when the
+// backend answers that the shard has moved. All other errors pass
+// through untouched.
+func retryRead[T any](e *Engine, id graph.NodeID, call func(ShardBackend) (T, error)) (T, error) {
+	set := e.bset.Load()
+	v, err := call(set.backends[e.routing.Owner(id)])
+	for retry := 0; retry < maxEpochRetries && err != nil && errors.Is(err, ErrWrongEpoch) && e.refresh(set); retry++ {
+		set = e.bset.Load()
+		v, err = call(set.backends[e.routing.Owner(id)])
+	}
+	return v, err
+}
+
 // Neighbors returns the adjacency list of id, read from its owning
 // shard's CSR slice (an immutable view in-process; a decoded copy from a
 // remote backend).
 func (e *Engine) Neighbors(id graph.NodeID) []graph.Edge {
-	return must(e.backends[e.routing.Owner(id)].NeighborsOf(id))
+	return must(retryRead(e, id, func(be ShardBackend) ([]graph.Edge, error) { return be.NeighborsOf(id) }))
 }
 
 // Content returns the node's content vector from its owning shard.
 func (e *Engine) Content(id graph.NodeID) tensor.Vec {
-	return must(e.backends[e.routing.Owner(id)].ContentOf(id))
+	return must(retryRead(e, id, func(be ShardBackend) (tensor.Vec, error) { return be.ContentOf(id) }))
 }
 
 // Features returns the node's categorical features from its owning shard.
 func (e *Engine) Features(id graph.NodeID) []int32 {
-	return must(e.backends[e.routing.Owner(id)].FeaturesOf(id))
+	return must(retryRead(e, id, func(be ShardBackend) ([]int32, error) { return be.FeaturesOf(id) }))
 }
 
 // SampleNeighbors draws k neighbors of id with replacement, weighted by
@@ -387,7 +523,7 @@ func (e *Engine) SampleNeighbors(id graph.NodeID, k int, r *rng.RNG) []graph.Nod
 	if k <= 0 {
 		return nil
 	}
-	if sh := e.locals[e.routing.Owner(id)]; sh != nil && sh.degree(id) == 0 {
+	if sh := e.bset.Load().locals[e.routing.Owner(id)]; sh != nil && sh.degree(id) == 0 {
 		return nil // skip the allocation for a local isolated node
 	}
 	out := make([]graph.NodeID, k)
@@ -400,18 +536,33 @@ func (e *Engine) SampleNeighbors(id graph.NodeID, k int, r *rng.RNG) []graph.Nod
 // SampleNeighborsInto routes to the owning shard and fills out with
 // weighted neighbor draws of id (with replacement), returning the number
 // written: len(out), or 0 for an isolated node. Over in-process shards it
-// performs no heap allocation and takes no locks — the steady-state
-// serving path; over a remote backend it is one RPC round trip.
+// performs no heap allocation and takes no locks beyond one atomic load
+// of the ownership view — the steady-state serving path; over a remote
+// backend it is one RPC round trip.
 func (e *Engine) SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) int {
-	return must(e.backends[e.routing.Owner(id)].SampleInto(id, out, r))
+	return must(e.TrySampleNeighborsInto(id, out, r))
 }
 
 // TrySampleNeighborsInto is SampleNeighborsInto surfacing transport
 // failures instead of panicking: on error 0 draws are reported, out is
-// unspecified and r is not consumed. The serving cache's synchronous miss
-// path uses it to degrade to an empty neighbor set during a shard outage.
+// unspecified and r is not consumed. A wrong-epoch redirect (the shard
+// moved servers) is absorbed by a one-shot ownership refresh and retry —
+// safe because a redirected call never consumes r. The serving cache's
+// synchronous miss path uses this call to degrade to an empty neighbor
+// set during a shard outage.
+//
+// The retry loop is a hand-rolled copy of retryRead: this is the
+// single-sample hot path with a 0 allocs/op pin, and the closure
+// retryRead takes would risk a heap allocation per call. Keep the two
+// loops in sync.
 func (e *Engine) TrySampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error) {
-	return e.backends[e.routing.Owner(id)].SampleInto(id, out, r)
+	set := e.bset.Load()
+	n, err := set.backends[e.routing.Owner(id)].SampleInto(id, out, r)
+	for retry := 0; retry < maxEpochRetries && err != nil && errors.Is(err, ErrWrongEpoch) && e.refresh(set); retry++ {
+		set = e.bset.Load()
+		n, err = set.backends[e.routing.Owner(id)].SampleInto(id, out, r)
+	}
+	return n, err
 }
 
 // Stats reports per-replica and per-shard request counts plus the static
@@ -434,12 +585,13 @@ type Stats struct {
 // single replica and the partition size its server reported (zeros when
 // the backend implements neither).
 func (e *Engine) Stats() Stats {
-	st := Stats{Shards: len(e.backends), Replicas: e.replicas}
+	set := e.bset.Load()
+	st := Stats{Shards: len(set.backends), Replicas: e.replicas}
 	var total, maxShard int64
-	for i, be := range e.backends {
+	for i, be := range set.backends {
 		var perShard int64
 		var nodes, edges int
-		if s := e.locals[i]; s != nil {
+		if s := set.locals[i]; s != nil {
 			for _, rep := range s.replicas {
 				c := rep.requests.Load()
 				st.RequestsPerRep = append(st.RequestsPerRep, c)
@@ -463,7 +615,7 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	if total > 0 {
-		mean := float64(total) / float64(len(e.backends))
+		mean := float64(total) / float64(len(set.backends))
 		st.Imbalance = float64(maxShard) / mean
 	}
 	return st

@@ -16,6 +16,7 @@ package partition
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"zoomer/internal/graph"
@@ -79,12 +80,21 @@ func (s *Shard) NumEdges() int { return len(s.Edges) }
 // routing layer or remote stub pool) needs to direct a request to the
 // owning shard. Under Hash it is pure arithmetic and carries no per-node
 // state; under DegreeBalanced it is two int32 arrays indexed by node id.
-// It serializes compactly (MarshalBinary/UnmarshalBinary) so shard
+// It serializes compactly (MarshalBinary/UnmarshalRouting) so shard
 // servers can hand the table to connecting clients over the wire.
+//
+// The node-to-shard assignment itself is immutable for the lifetime of a
+// partitioned graph; what moves in a live cluster is which server owns
+// each shard. The Epoch versions that ownership: a server bumps its
+// epoch whenever it acquires or drains a partition, and the epoch
+// travels inside the serialized table so clients can tell a stale
+// ownership view from a current one without re-reading the (possibly
+// large) assignment arrays.
 type Routing struct {
 	strategy Strategy
 	shards   int
 	numNodes int
+	epoch    uint64
 	// nil under Hash where routing is arithmetic.
 	owner []int32
 	local []int32
@@ -207,6 +217,15 @@ func (r *Routing) NumNodes() int { return r.numNodes }
 // Strategy returns the assignment strategy used.
 func (r *Routing) Strategy() Strategy { return r.strategy }
 
+// Epoch returns the shard-ownership epoch this table was serialized
+// under (0 for a freshly split partition that has never moved a shard).
+func (r *Routing) Epoch() uint64 { return r.epoch }
+
+// SetEpoch stamps the table with a new ownership epoch. The node-to-shard
+// assignment is untouched — only the version the next MarshalBinary
+// carries changes.
+func (r *Routing) SetEpoch(e uint64) { r.epoch = e }
+
 // Owner returns the shard owning id: modular arithmetic under Hash, one
 // array read under DegreeBalanced. It performs no allocation.
 func (r *Routing) Owner(id graph.NodeID) int {
@@ -225,17 +244,27 @@ func (r *Routing) Local(id graph.NodeID) int32 {
 }
 
 // The routing-table wire format: a magic header, then strategy, shard
-// count, node count and a table-presence flag, then (when present) the
-// owner and local arrays. All integers little-endian uint32.
+// count, node count, the ownership epoch (u64, format version 2 onward)
+// and a table-presence flag, then (when present) the owner and local
+// arrays. All integers little-endian; u32 unless noted.
 const (
 	routingMagic   = 0x5a4d5252 // "ZMRR"
-	routingVersion = 1
+	routingVersion = 2          // version 1 lacked the epoch field
 )
 
-// MarshalBinary serializes the routing table. Hash tables are 24 bytes
-// regardless of graph size; DegreeBalanced tables carry 8 bytes per node.
+// ErrRoutingVersion is returned by UnmarshalRouting for a blob whose
+// format version this build does not speak — in particular a version-1
+// blob from a pre-epoch build, whose fixed header is shorter and would
+// otherwise misparse as table data. Version skew between a shard server
+// and the serving tier is a deployment error and is surfaced loudly, not
+// papered over.
+var ErrRoutingVersion = errors.New("partition: unsupported routing table version")
+
+// MarshalBinary serializes the routing table (format version 2). Hash
+// tables are 32 bytes regardless of graph size; DegreeBalanced tables
+// carry 8 bytes per node on top.
 func (r *Routing) MarshalBinary() ([]byte, error) {
-	size := 6 * 4
+	size := 6*4 + 8
 	if r.owner != nil {
 		size += 8 * r.numNodes
 	}
@@ -246,6 +275,7 @@ func (r *Routing) MarshalBinary() ([]byte, error) {
 	put(uint32(r.strategy))
 	put(uint32(r.shards))
 	put(uint32(r.numNodes))
+	buf = binary.LittleEndian.AppendUint64(buf, r.epoch)
 	if r.owner == nil {
 		put(0)
 		return buf, nil
@@ -260,7 +290,34 @@ func (r *Routing) MarshalBinary() ([]byte, error) {
 	return buf, nil
 }
 
-// UnmarshalRouting deserializes a table written by MarshalBinary.
+// epochOffset is where the u64 epoch sits in a v2 blob: after the
+// magic, version, strategy, shards and numNodes u32 fields.
+const epochOffset = 5 * 4
+
+// PatchEpoch rewrites the ownership epoch of a marshaled v2 routing
+// blob in place — the epoch is the only field a live handoff changes,
+// and re-marshaling a degree-balanced table costs 8 bytes per node,
+// so shard servers stamp a copied blob instead. The blob must have been
+// written by this build's MarshalBinary (version-checked).
+func PatchEpoch(blob []byte, epoch uint64) error {
+	if len(blob) < epochOffset+8 {
+		return fmt.Errorf("partition: routing blob of %d bytes too short to patch", len(blob))
+	}
+	if magic := binary.LittleEndian.Uint32(blob); magic != routingMagic {
+		return fmt.Errorf("partition: bad routing magic %#x", magic)
+	}
+	if v := binary.LittleEndian.Uint32(blob[4:]); v != routingVersion {
+		return fmt.Errorf("%w: blob is version %d, this build writes version %d",
+			ErrRoutingVersion, v, routingVersion)
+	}
+	binary.LittleEndian.PutUint64(blob[epochOffset:], epoch)
+	return nil
+}
+
+// UnmarshalRouting deserializes a table written by MarshalBinary. A blob
+// of a different format version — e.g. from a pre-epoch build — fails
+// with ErrRoutingVersion (wrapped with the versions involved) rather
+// than misparsing.
 func UnmarshalRouting(data []byte) (*Routing, error) {
 	off := 0
 	get := func() (uint32, error) {
@@ -283,7 +340,8 @@ func UnmarshalRouting(data []byte) (*Routing, error) {
 		return nil, err
 	}
 	if version != routingVersion {
-		return nil, fmt.Errorf("partition: unsupported routing version %d", version)
+		return nil, fmt.Errorf("%w: blob is version %d, this build reads version %d",
+			ErrRoutingVersion, version, routingVersion)
 	}
 	strat, err := get()
 	if err != nil {
@@ -300,11 +358,16 @@ func UnmarshalRouting(data []byte) (*Routing, error) {
 	if shards == 0 || shards > 1<<20 || numNodes > 1<<31-2 {
 		return nil, fmt.Errorf("partition: implausible routing shape shards=%d nodes=%d", shards, numNodes)
 	}
+	if off+8 > len(data) {
+		return nil, fmt.Errorf("partition: truncated routing table at byte %d", off)
+	}
+	epoch := binary.LittleEndian.Uint64(data[off:])
+	off += 8
 	hasTable, err := get()
 	if err != nil {
 		return nil, err
 	}
-	r := &Routing{strategy: Strategy(strat), shards: int(shards), numNodes: int(numNodes)}
+	r := &Routing{strategy: Strategy(strat), shards: int(shards), numNodes: int(numNodes), epoch: epoch}
 	if hasTable == 0 {
 		return r, nil
 	}

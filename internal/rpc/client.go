@@ -24,11 +24,41 @@ import (
 var ErrShardUnavailable = errors.New("rpc: shard unavailable")
 
 // remoteError is an application-level failure the server answered with
-// (bad request, non-owned shard). The connection is healthy and the call
-// must not be retried.
+// (bad request, out-of-range node). The connection is healthy and the
+// call must not be retried.
 type remoteError struct{ msg string }
 
 func (e *remoteError) Error() string { return "rpc: server: " + e.msg }
+
+// movedError is the wrong-epoch redirect decoded from a statusMoved
+// response: the server answered — over a healthy connection — that it no
+// longer (or never) owned the target partition, and reported its current
+// routing epoch. It matches engine.ErrWrongEpoch under errors.Is, which
+// is what makes the engine refresh its ownership view and retry instead
+// of surfacing the failure; like remoteError it is not a transport
+// failure, so it neither trips the health circuit nor burns the
+// retry-on-fresh-connection attempt.
+type movedError struct {
+	shard int
+	epoch uint64
+}
+
+func (e *movedError) Error() string {
+	return fmt.Sprintf("rpc: shard %d moved (server routing epoch %d): %v", e.shard, e.epoch, engine.ErrWrongEpoch)
+}
+
+// Is makes errors.Is(err, engine.ErrWrongEpoch) true for the redirect.
+func (e *movedError) Is(target error) bool { return target == engine.ErrWrongEpoch }
+
+// permanent reports whether err is a server-answered outcome on a healthy
+// connection — a remote application error or a wrong-epoch redirect — as
+// opposed to a transport failure that should count against the health
+// circuit and be retried on a fresh connection.
+func permanent(err error) bool {
+	var re *remoteError
+	var mv *movedError
+	return errors.As(err, &re) || errors.As(err, &mv)
+}
 
 // DefaultTimeout bounds dial and per-call I/O, guaranteeing a dead peer
 // surfaces as ErrShardUnavailable instead of a hang.
@@ -299,8 +329,7 @@ func (cl *Client) sample(id graph.NodeID, k int, st [4]uint64, out []graph.NodeI
 		body, err := mc.roundTrip(sl, req, ct)
 		putTimer(ct)
 		if err != nil {
-			var re *remoteError
-			if errors.As(err, &re) {
+			if permanent(err) {
 				failed = false
 				return 0, st, err
 			}
@@ -391,8 +420,7 @@ func (cl *Client) batchAttempt(gids []graph.NodeID, idx []int32, base uint64, k 
 	req = appendBatch(req, gids, idx, base, k)
 	body, err := mc.roundTrip(sl, req, ct)
 	if err != nil {
-		var re *remoteError
-		if errors.As(err, &re) {
+		if permanent(err) {
 			return 0, false, err
 		}
 		return 0, true, err
@@ -540,8 +568,7 @@ func (p *pendingBatch) AwaitBatch() (int, error) {
 		body, aerr := p.mc.await(p.sl, p.ct)
 		putTimer(p.ct)
 		if aerr != nil {
-			var re *remoteError
-			if errors.As(aerr, &re) {
+			if permanent(aerr) {
 				err = aerr
 			} else {
 				transport, err = true, aerr
@@ -603,8 +630,7 @@ func (cl *Client) call(op Op, encode func([]byte) []byte, decode func(body []byt
 		body, err := mc.roundTrip(sl, req, ct)
 		putTimer(ct)
 		if err != nil {
-			var re *remoteError
-			if errors.As(err, &re) {
+			if permanent(err) {
 				failed = false
 				return err
 			}
@@ -658,25 +684,19 @@ func (cl *Client) Info() (Info, error) {
 		info.ContentDim = int(cu.u32())
 		info.NumShards = int(cu.u32())
 		info.Strategy = partition.Strategy(cu.u32())
-		owned := int(cu.u32())
-		if cu.bad || owned < 0 || owned > info.NumShards {
+		if cu.bad {
 			return fmt.Errorf("rpc: malformed info response")
 		}
-		info.Owned = make([]ShardInfo, owned)
-		for i := range info.Owned {
-			info.Owned[i] = ShardInfo{ID: int(cu.u32()), Nodes: int(cu.u32()), Edges: int(cu.u32())}
-		}
-		if err := cu.err(); err != nil {
-			return err
-		}
-		sort.Slice(info.Owned, func(i, j int) bool { return info.Owned[i].ID < info.Owned[j].ID })
-		return nil
+		var derr error
+		info.Owned, derr = decodeOwned(&cu, info.NumShards)
+		return derr
 	})
 	return info, err
 }
 
 // Routing fetches the partition's routing table — everything the Engine
-// routing layer needs to direct requests at this cluster.
+// routing layer needs to direct requests at this cluster. The table
+// carries the server's current routing epoch.
 func (cl *Client) Routing() (*partition.Routing, error) {
 	var r *partition.Routing
 	err := cl.call(OpRouting, nil, func(body []byte) error {
@@ -688,6 +708,68 @@ func (cl *Client) Routing() (*partition.Routing, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// decodeOwned decodes the (count, then id/nodes/edges triples) tail both
+// the info and routing-epoch responses carry.
+func decodeOwned(cu *cursor, numShards int) ([]ShardInfo, error) {
+	owned := int(cu.u32())
+	if cu.bad || owned < 0 || owned > numShards {
+		return nil, fmt.Errorf("rpc: malformed owned-shard list")
+	}
+	out := make([]ShardInfo, owned)
+	for i := range out {
+		out[i] = ShardInfo{ID: int(cu.u32()), Nodes: int(cu.u32()), Edges: int(cu.u32())}
+	}
+	if err := cu.err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Reassign commands the server to acquire or release one partition — the
+// admin half of a live shard handoff (zoomer-shard's -admin mode sends
+// exactly this). It returns the server's routing epoch after the change;
+// acquiring an already-owned or releasing a non-owned partition is a
+// no-op that returns the current epoch.
+func (cl *Client) Reassign(shard int, acquire bool) (uint64, error) {
+	var epoch uint64
+	action := byte(ReassignRelease)
+	if acquire {
+		action = ReassignAcquire
+	}
+	err := cl.call(OpReassign,
+		func(b []byte) []byte {
+			b = append(b, action)
+			return appendU32(b, uint32(shard))
+		},
+		func(body []byte) error {
+			cu := cursor{b: body}
+			epoch = cu.u64()
+			return cu.err()
+		})
+	return epoch, err
+}
+
+// RoutingEpoch polls the server's current routing epoch and the
+// partitions it serves — the cheap ownership read a client refreshes
+// from after a wrong-epoch redirect, without re-fetching the (possibly
+// node-sized) routing blob.
+func (cl *Client) RoutingEpoch() (uint64, []ShardInfo, error) {
+	var epoch uint64
+	var owned []ShardInfo
+	err := cl.call(OpEpoch, nil, func(body []byte) error {
+		cu := cursor{b: body}
+		epoch = cu.u64()
+		var derr error
+		owned, derr = decodeOwned(&cu, 1<<20)
+		return derr
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	return epoch, owned, nil
 }
 
 // RemoteShard is the client-side stub for one partition served by a
@@ -843,10 +925,104 @@ func (rs *RemoteShard) ContentOf(id graph.NodeID) (tensor.Vec, error) {
 // Engine: the routing table is fetched from the first server, every
 // partition is bound to the stub of the server owning it, and the
 // resulting Engine routes exactly as an in-process one.
+//
+// The binding is live: the Engine is assembled with a RefreshFunc that
+// calls Refresh, so when a shard server drains a partition (a planned
+// handoff driven by the reassign op) the first redirected call
+// re-resolves ownership across the cluster's servers and the engine
+// retries against the new owner — no restart, no error surfaced to
+// callers. Ownership may move only between the servers the cluster was
+// dialed with.
 type Cluster struct {
 	Engine  *engine.Engine
 	Info    Info // shape handshake from the first server
 	clients []*Client
+
+	mu        sync.Mutex
+	stubs     map[stubKey]*RemoteShard // reused across refreshes to keep counters
+	refreshMu sync.Mutex               // serializes poll→install so a stale view never overwrites a fresher one
+}
+
+// stubKey identifies one (server, partition) stub.
+type stubKey struct{ server, shard int }
+
+// stub returns the cached stub binding one partition to one server's
+// client, creating it on first use. Reuse keeps the client-side request
+// counters monotone across ownership swaps.
+func (c *Cluster) stub(server int, sh ShardInfo) *RemoteShard {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := stubKey{server: server, shard: sh.ID}
+	rs := c.stubs[key]
+	if rs == nil {
+		rs = NewRemoteShard(c.clients[server], sh.ID, sh.Nodes, sh.Edges)
+		c.stubs[key] = rs
+	}
+	return rs
+}
+
+// Refresh re-resolves which server owns each partition by polling every
+// client's routing epoch, and installs the new binding into the engine.
+// A server that cannot be reached keeps nothing bound: its partitions go
+// to the first reachable claimant, and a partition nobody currently
+// claims keeps its existing binding (a server mid-restart will either
+// come back owning it or the next redirect will refresh again). The
+// engine single-flights calls here through its RefreshFunc seam; calling
+// it directly (e.g. on an operator's schedule) is also safe — refreshes
+// serialize, so an install always reflects a poll at least as recent as
+// the one it replaces.
+func (c *Cluster) Refresh() error {
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	nshards := c.Info.NumShards
+	// Poll every server concurrently: with one server down, the refresh
+	// stalls for one call timeout, not one per server — and every caller
+	// queued on the engine's refresh single-flight is released together.
+	type poll struct {
+		owned []ShardInfo
+		err   error
+	}
+	polls := make([]poll, len(c.clients))
+	var wg sync.WaitGroup
+	for si, cl := range c.clients {
+		wg.Add(1)
+		go func(p *poll, cl *Client) {
+			defer wg.Done()
+			_, p.owned, p.err = cl.RoutingEpoch()
+		}(&polls[si], cl)
+	}
+	wg.Wait()
+	// Bind in address order so "first claimant wins" stays deterministic.
+	backends := make([]engine.ShardBackend, nshards)
+	var firstErr error
+	reached := 0
+	for si := range polls {
+		if err := polls[si].err; err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		reached++
+		for _, sh := range polls[si].owned {
+			if sh.ID < 0 || sh.ID >= nshards {
+				return fmt.Errorf("rpc: %s claims shard %d of %d", c.clients[si].Addr(), sh.ID, nshards)
+			}
+			if backends[sh.ID] == nil {
+				backends[sh.ID] = c.stub(si, sh)
+			}
+		}
+	}
+	if reached == 0 {
+		return fmt.Errorf("rpc: routing refresh: no shard server reachable: %w", firstErr)
+	}
+	for id := range backends {
+		if backends[id] == nil {
+			backends[id] = c.Engine.Backend(id)
+		}
+	}
+	c.Engine.InstallBackends(backends)
+	return nil
 }
 
 // DialCluster connects to the given shard servers with default pool
@@ -858,12 +1034,13 @@ func DialCluster(addrs ...string) (*Cluster, error) {
 // DialClusterWith is DialCluster with explicit per-server pool bounds.
 // Every partition must be owned by exactly one reachable server (the
 // first claimant wins when servers overlap); a partition no server owns
-// is an error.
+// is an error. The assembled engine re-resolves ownership automatically
+// when a partition later moves between these servers (see Cluster).
 func DialClusterWith(cfg ClientConfig, addrs ...string) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("rpc: no shard server addresses")
 	}
-	cluster := &Cluster{}
+	cluster := &Cluster{stubs: make(map[stubKey]*RemoteShard)}
 	fail := func(err error) (*Cluster, error) {
 		cluster.Close()
 		return nil, err
@@ -894,7 +1071,7 @@ func DialClusterWith(cfg ClientConfig, addrs ...string) (*Cluster, error) {
 				return fail(fmt.Errorf("rpc: %s claims shard %d of %d", addr, sh.ID, len(backends)))
 			}
 			if backends[sh.ID] == nil {
-				backends[sh.ID] = NewRemoteShard(cl, sh.ID, sh.Nodes, sh.Edges)
+				backends[sh.ID] = cluster.stub(i, sh)
 			}
 		}
 	}
@@ -904,6 +1081,7 @@ func DialClusterWith(cfg ClientConfig, addrs ...string) (*Cluster, error) {
 		}
 	}
 	cluster.Engine = engine.NewWithBackends(routing, backends, cluster.Info.ContentDim)
+	cluster.Engine.SetRefresh(cluster.Refresh)
 	return cluster, nil
 }
 

@@ -382,6 +382,16 @@ func (mc *muxConn) finish(sl *muxSlot) ([]byte, error) {
 		mc.release(sl)
 		return nil, err
 	}
+	if body[0] == statusMoved {
+		cu := cursor{b: body[1:]}
+		epoch := cu.u64()
+		shard := int(cu.u32())
+		mc.release(sl)
+		if cu.bad {
+			return nil, &remoteError{msg: "malformed shard-moved redirect"}
+		}
+		return nil, &movedError{shard: shard, epoch: epoch}
+	}
 	return body[1:], nil
 }
 

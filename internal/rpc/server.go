@@ -3,6 +3,7 @@ package rpc
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -21,8 +22,8 @@ import (
 type ServerConfig struct {
 	Shards   int                // total partitions of the graph
 	Strategy partition.Strategy // node-to-shard assignment
-	Owned    []int              // shard ids this server owns (nil = all)
-	Replicas int                // replicas per owned shard
+	Owned    []int              // shard ids served at start (nil = all); handoffs move them later
+	Replicas int                // replicas per owned shard (initial and acquired alike)
 
 	// ConnWorkers bounds the concurrent request dispatch per connection
 	// (default 4): a multiplexing client pipelines many requests onto one
@@ -51,14 +52,25 @@ const (
 // completion order. The shard stores themselves are immutable and read
 // lock-free, so dispatch concurrency scales like in-process replica
 // concurrency.
+//
+// Ownership is dynamic: AcquirePartition and ReleasePartition (driven by
+// the reassign op, i.e. zoomer-shard's admin mode) move partitions in
+// and out of the served set at runtime without restarting the server.
+// Each change installs a new immutable ownership snapshot behind an
+// atomic pointer and bumps the routing epoch; requests already
+// dispatched keep the store they resolved and complete normally, while
+// requests for a partition this snapshot does not own are answered with
+// the wrong-epoch redirect that tells clients to re-resolve ownership.
 type Server struct {
-	part       *partition.Partition
-	routing    []byte // marshaled routing table, shared by every Routing reply
-	shards     map[int]*engine.Shard
-	numNodes   int
-	contentDim int
-	workers    int
-	window     int
+	part        *partition.Partition
+	routingBase []byte                    // epoch-0 routing blob; snapshots copy + patch it
+	own         atomic.Pointer[ownership] // current epoch + served stores
+	numNodes    int
+	contentDim  int
+	workers     int
+	window      int
+	replicas    int
+	ownMu       sync.Mutex // serializes ownership transitions
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -67,6 +79,29 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	opCounts [numOps]atomic.Int64
+}
+
+// ownership is one immutable view of the partitions this server serves:
+// the stores, the epoch that versions them, and the routing blob
+// (stamped with that epoch, so connecting clients see the current one).
+// Handlers load it once per request, so a request resolves its store and
+// completes against it even while a reassignment installs a successor.
+type ownership struct {
+	epoch   uint64
+	shards  map[int]*engine.Shard
+	routing []byte
+}
+
+// errShardMoved is the server-side wrong-epoch outcome: the request
+// targeted a partition outside the current ownership snapshot. serve
+// answers it with a statusMoved redirect frame instead of a plain error.
+type errShardMoved struct {
+	shard int
+	epoch uint64
+}
+
+func (e *errShardMoved) Error() string {
+	return fmt.Sprintf("rpc: shard %d not owned by this server (routing epoch %d)", e.shard, e.epoch)
 }
 
 // NewServer partitions g and builds the owned shards' stores and alias
@@ -90,10 +125,6 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 		cfg.ConnWindow = cfg.ConnWorkers
 	}
 	part := partition.Split(g, cfg.Shards, cfg.Strategy)
-	blob, err := part.RoutingTable().MarshalBinary()
-	if err != nil {
-		panic(fmt.Sprintf("rpc: marshal routing: %v", err))
-	}
 	owned := cfg.Owned
 	if owned == nil {
 		owned = make([]int, cfg.Shards)
@@ -103,22 +134,104 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 	}
 	s := &Server{
 		part:       part,
-		routing:    blob,
-		shards:     make(map[int]*engine.Shard, len(owned)),
 		numNodes:   g.NumNodes(),
 		contentDim: g.ContentDim(),
 		workers:    cfg.ConnWorkers,
 		window:     cfg.ConnWindow,
+		replicas:   cfg.Replicas,
 		conns:      make(map[net.Conn]struct{}),
 	}
+	shards := make(map[int]*engine.Shard, len(owned))
 	for _, id := range owned {
 		if id < 0 || id >= cfg.Shards {
 			panic(fmt.Sprintf("rpc: owned shard %d of %d", id, cfg.Shards))
 		}
-		s.shards[id] = engine.BuildShard(part, id, cfg.Replicas)
+		shards[id] = engine.BuildShard(part, id, cfg.Replicas)
 	}
+	s.own.Store(s.newOwnership(0, shards))
 	return s
 }
+
+// newOwnership stamps a served-store set with its epoch and the matching
+// routing blob: a copy of the once-marshaled table with just the epoch
+// field patched, so a reassignment of a large degree-balanced graph
+// does not re-encode 8 bytes per node under the ownership lock.
+func (s *Server) newOwnership(epoch uint64, shards map[int]*engine.Shard) *ownership {
+	if s.routingBase == nil {
+		blob, err := s.part.RoutingTable().MarshalBinary()
+		if err != nil {
+			panic(fmt.Sprintf("rpc: marshal routing: %v", err))
+		}
+		s.routingBase = blob
+	}
+	blob := append([]byte(nil), s.routingBase...)
+	if err := partition.PatchEpoch(blob, epoch); err != nil {
+		panic(fmt.Sprintf("rpc: stamp routing epoch: %v", err))
+	}
+	return &ownership{epoch: epoch, shards: shards, routing: blob}
+}
+
+// AcquirePartition loads partition id's CSR slice and alias tables and
+// adds it to the served set, bumping the routing epoch — the destination
+// half of a live shard handoff (reassign/acquire over the wire; run it
+// on the destination before draining the source so the partition never
+// goes unowned). The build happens outside any lock; requests keep being
+// served throughout. Acquiring an already-owned partition is a no-op
+// returning the current epoch.
+func (s *Server) AcquirePartition(id int) (uint64, error) {
+	if id < 0 || id >= s.part.NumShards() {
+		return 0, fmt.Errorf("rpc: partition %d out of range [0,%d)", id, s.part.NumShards())
+	}
+	if o := s.own.Load(); o.shards[id] != nil {
+		return o.epoch, nil
+	}
+	sh := engine.BuildShard(s.part, id, s.replicas)
+	s.ownMu.Lock()
+	defer s.ownMu.Unlock()
+	o := s.own.Load()
+	if o.shards[id] != nil {
+		return o.epoch, nil // lost a race to a concurrent acquire; drop our build
+	}
+	shards := make(map[int]*engine.Shard, len(o.shards)+1)
+	for k, v := range o.shards {
+		shards[k] = v
+	}
+	shards[id] = sh
+	next := s.newOwnership(o.epoch+1, shards)
+	s.own.Store(next)
+	return next.epoch, nil
+}
+
+// ReleasePartition drains partition id: it leaves the served set and the
+// routing epoch bumps, so requests decoded from now on are answered with
+// the wrong-epoch redirect while requests already dispatched complete
+// against the store they resolved. The source half of a live handoff;
+// releasing a partition this server does not own is a no-op returning
+// the current epoch.
+func (s *Server) ReleasePartition(id int) (uint64, error) {
+	if id < 0 || id >= s.part.NumShards() {
+		return 0, fmt.Errorf("rpc: partition %d out of range [0,%d)", id, s.part.NumShards())
+	}
+	s.ownMu.Lock()
+	defer s.ownMu.Unlock()
+	o := s.own.Load()
+	if o.shards[id] == nil {
+		return o.epoch, nil
+	}
+	shards := make(map[int]*engine.Shard, len(o.shards)-1)
+	for k, v := range o.shards {
+		if k != id {
+			shards[k] = v
+		}
+	}
+	next := s.newOwnership(o.epoch+1, shards)
+	s.own.Store(next)
+	return next.epoch, nil
+}
+
+// Epoch returns the server's current routing epoch (0 until the first
+// reassignment).
+func (s *Server) Epoch() uint64 { return s.own.Load().epoch }
 
 // Start begins accepting connections on ln (ownership transfers to the
 // server; Close closes it). It returns immediately.
@@ -197,10 +310,12 @@ func (s *Server) OpCount(op Op) int64 {
 	return s.opCounts[op].Load()
 }
 
-// OwnedShards returns the shard ids this server serves, in map order.
+// OwnedShards returns the shard ids this server currently serves, in
+// map order.
 func (s *Server) OwnedShards() []int {
-	out := make([]int, 0, len(s.shards))
-	for id := range s.shards {
+	o := s.own.Load()
+	out := make([]int, 0, len(o.shards))
+	for id := range o.shards {
 		out = append(out, id)
 	}
 	return out
@@ -337,7 +452,10 @@ func (s *Server) handle(c net.Conn) {
 	cwg.Wait()
 }
 
-// serve dispatches one request and writes its response frame.
+// serve dispatches one request and writes its response frame. A
+// wrong-epoch outcome (the request targeted a partition outside the
+// ownership snapshot) is answered with a statusMoved redirect frame
+// carrying the current epoch; any other error with a statusErr frame.
 func (s *Server) serve(c net.Conn, sl *reqSlot, sc *serverConn, wmu *sync.Mutex) {
 	op := Op(sl.buf[0])
 	if op < numOps {
@@ -345,7 +463,14 @@ func (s *Server) serve(c net.Conn, sl *reqSlot, sc *serverConn, wmu *sync.Mutex)
 	}
 	resp, err := s.dispatch(op, sl.buf[1:], sc)
 	if err != nil {
-		resp = append(sc.begin(statusErr), err.Error()...)
+		var mv *errShardMoved
+		if errors.As(err, &mv) {
+			b := sc.begin(statusMoved)
+			b = appendU64(b, mv.epoch)
+			resp = appendU32(b, uint32(mv.shard))
+		} else {
+			resp = append(sc.begin(statusErr), err.Error()...)
+		}
 	}
 	wmu.Lock()
 	c.SetWriteDeadline(time.Now().Add(DefaultTimeout))
@@ -356,50 +481,56 @@ func (s *Server) serve(c net.Conn, sl *reqSlot, sc *serverConn, wmu *sync.Mutex)
 	}
 }
 
-// shardFor routes id to its owning store, failing for partitions this
-// server does not own (a stale client routing table or a misdirected
-// stub).
-func (s *Server) shardFor(id graph.NodeID) (*engine.Shard, error) {
+// shardFor routes id to its owning store within one ownership snapshot.
+// A partition outside the snapshot — drained by a handoff, or a stale
+// client routing view — yields the redirect error; an out-of-range node
+// id a plain one.
+func (s *Server) shardFor(o *ownership, id graph.NodeID) (*engine.Shard, error) {
 	if id < 0 || int(id) >= s.numNodes {
 		return nil, fmt.Errorf("rpc: node %d out of range [0,%d)", id, s.numNodes)
 	}
 	owner := s.part.Owner(id)
-	sh, ok := s.shards[owner]
+	sh, ok := o.shards[owner]
 	if !ok {
-		return nil, fmt.Errorf("rpc: shard %d (node %d) not owned by this server", owner, id)
+		return nil, &errShardMoved{shard: owner, epoch: o.epoch}
 	}
 	return sh, nil
 }
 
 func (s *Server) dispatch(op Op, payload []byte, sc *serverConn) ([]byte, error) {
+	// One ownership snapshot per request: the store it resolves stays
+	// valid for the whole dispatch even if a reassignment lands meanwhile.
+	o := s.own.Load()
 	switch op {
 	case OpInfo:
-		return s.handleInfo(sc), nil
+		return s.handleInfo(o, sc), nil
 	case OpRouting:
-		return append(sc.begin(statusOK), s.routing...), nil
+		return append(sc.begin(statusOK), o.routing...), nil
 	case OpSample:
-		return s.handleSample(payload, sc)
+		return s.handleSample(o, payload, sc)
 	case OpBatch:
-		return s.handleBatch(payload, sc)
+		return s.handleBatch(o, payload, sc)
 	case OpNeighbors:
-		return s.handleNeighbors(payload, sc)
+		return s.handleNeighbors(o, payload, sc)
 	case OpFeatures:
-		return s.handleFeatures(payload, sc)
+		return s.handleFeatures(o, payload, sc)
 	case OpContent:
-		return s.handleContent(payload, sc)
+		return s.handleContent(o, payload, sc)
+	case OpReassign:
+		return s.handleReassign(payload, sc)
+	case OpEpoch:
+		return s.handleEpoch(sc), nil
 	default:
 		return nil, fmt.Errorf("rpc: unknown op %d", byte(op))
 	}
 }
 
-func (s *Server) handleInfo(sc *serverConn) []byte {
-	b := sc.begin(statusOK)
-	b = appendU32(b, uint32(s.numNodes))
-	b = appendU32(b, uint32(s.contentDim))
-	b = appendU32(b, uint32(s.part.NumShards()))
-	b = appendU32(b, uint32(s.part.Strategy()))
-	b = appendU32(b, uint32(len(s.shards)))
-	for id := range s.shards {
+// appendOwned encodes the snapshot's served-partition triples — count,
+// then (id, nodes, edges) each — the shape both Info and routing-epoch
+// responses carry.
+func (s *Server) appendOwned(b []byte, o *ownership) []byte {
+	b = appendU32(b, uint32(len(o.shards)))
+	for id := range o.shards {
 		b = appendU32(b, uint32(id))
 		b = appendU32(b, uint32(s.part.Shards[id].NumNodes()))
 		b = appendU32(b, uint32(s.part.Shards[id].NumEdges()))
@@ -407,7 +538,54 @@ func (s *Server) handleInfo(sc *serverConn) []byte {
 	return b
 }
 
-func (s *Server) handleSample(payload []byte, sc *serverConn) ([]byte, error) {
+func (s *Server) handleInfo(o *ownership, sc *serverConn) []byte {
+	b := sc.begin(statusOK)
+	b = appendU32(b, uint32(s.numNodes))
+	b = appendU32(b, uint32(s.contentDim))
+	b = appendU32(b, uint32(s.part.NumShards()))
+	b = appendU32(b, uint32(s.part.Strategy()))
+	return s.appendOwned(b, o)
+}
+
+// handleReassign executes an admin acquire/release command and answers
+// with the resulting epoch.
+func (s *Server) handleReassign(payload []byte, sc *serverConn) ([]byte, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("rpc: empty reassign request")
+	}
+	action := payload[0]
+	cu := cursor{b: payload[1:]}
+	shard := int(cu.u32())
+	if err := cu.err(); err != nil {
+		return nil, err
+	}
+	var epoch uint64
+	var err error
+	switch action {
+	case ReassignAcquire:
+		epoch, err = s.AcquirePartition(shard)
+	case ReassignRelease:
+		epoch, err = s.ReleasePartition(shard)
+	default:
+		return nil, fmt.Errorf("rpc: unknown reassign action %d", action)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return appendU64(sc.begin(statusOK), epoch), nil
+}
+
+// handleEpoch answers the ownership poll: current epoch plus the served
+// partitions, enough for a client to rebind moved shards without
+// re-fetching the routing blob.
+func (s *Server) handleEpoch(sc *serverConn) []byte {
+	o := s.own.Load()
+	b := sc.begin(statusOK)
+	b = appendU64(b, o.epoch)
+	return s.appendOwned(b, o)
+}
+
+func (s *Server) handleSample(o *ownership, payload []byte, sc *serverConn) ([]byte, error) {
 	cu := cursor{b: payload}
 	id := graph.NodeID(cu.u32())
 	k := int(cu.u32())
@@ -421,7 +599,7 @@ func (s *Server) handleSample(payload []byte, sc *serverConn) ([]byte, error) {
 	if k <= 0 || k > 1<<20 {
 		return nil, fmt.Errorf("rpc: sample k=%d out of range", k)
 	}
-	sh, err := s.shardFor(id)
+	sh, err := s.shardFor(o, id)
 	if err != nil {
 		return nil, err
 	}
@@ -444,7 +622,7 @@ func (s *Server) handleSample(payload []byte, sc *serverConn) ([]byte, error) {
 	return b, nil
 }
 
-func (s *Server) handleBatch(payload []byte, sc *serverConn) ([]byte, error) {
+func (s *Server) handleBatch(o *ownership, payload []byte, sc *serverConn) ([]byte, error) {
 	cu := cursor{b: payload}
 	base := cu.u64()
 	k := int(cu.u32())
@@ -479,7 +657,7 @@ func (s *Server) handleBatch(payload []byte, sc *serverConn) ([]byte, error) {
 	}
 	// One batch request is one shard visit: every entry must live on the
 	// same owned shard (the client stub groups per shard before calling).
-	sh, err := s.shardFor(gids[0])
+	sh, err := s.shardFor(o, gids[0])
 	if err != nil {
 		return nil, err
 	}
@@ -517,13 +695,13 @@ func (s *Server) handleBatch(payload []byte, sc *serverConn) ([]byte, error) {
 	return b, nil
 }
 
-func (s *Server) handleNeighbors(payload []byte, sc *serverConn) ([]byte, error) {
+func (s *Server) handleNeighbors(o *ownership, payload []byte, sc *serverConn) ([]byte, error) {
 	cu := cursor{b: payload}
 	id := graph.NodeID(cu.u32())
 	if err := cu.err(); err != nil {
 		return nil, err
 	}
-	sh, err := s.shardFor(id)
+	sh, err := s.shardFor(o, id)
 	if err != nil {
 		return nil, err
 	}
@@ -538,13 +716,13 @@ func (s *Server) handleNeighbors(payload []byte, sc *serverConn) ([]byte, error)
 	return b, nil
 }
 
-func (s *Server) handleFeatures(payload []byte, sc *serverConn) ([]byte, error) {
+func (s *Server) handleFeatures(o *ownership, payload []byte, sc *serverConn) ([]byte, error) {
 	cu := cursor{b: payload}
 	id := graph.NodeID(cu.u32())
 	if err := cu.err(); err != nil {
 		return nil, err
 	}
-	sh, err := s.shardFor(id)
+	sh, err := s.shardFor(o, id)
 	if err != nil {
 		return nil, err
 	}
@@ -557,13 +735,13 @@ func (s *Server) handleFeatures(payload []byte, sc *serverConn) ([]byte, error) 
 	return b, nil
 }
 
-func (s *Server) handleContent(payload []byte, sc *serverConn) ([]byte, error) {
+func (s *Server) handleContent(o *ownership, payload []byte, sc *serverConn) ([]byte, error) {
 	cu := cursor{b: payload}
 	id := graph.NodeID(cu.u32())
 	if err := cu.err(); err != nil {
 		return nil, err
 	}
-	sh, err := s.shardFor(id)
+	sh, err := s.shardFor(o, id)
 	if err != nil {
 		return nil, err
 	}

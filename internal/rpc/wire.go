@@ -13,12 +13,22 @@
 // every body starts with a uint64 request id: a request body is
 // [u64 id | op byte | payload], a response body is
 // [u64 id | status byte | payload] where status 0 carries the op's
-// result and status 1 carries an error string. Many requests may be in
-// flight per connection at once — responses are matched by id and may
-// arrive in any order, so N concurrent callers share a small bounded
-// pool of pipelined connections instead of checking a connection out per
-// call. The server dispatches each connection's requests across a
-// bounded worker group, overlapping shard reads behind one socket.
+// result, status 1 an error string, and status 2 the wrong-epoch
+// redirect of a drained partition. Many requests may be in flight per
+// connection at once — responses are matched by id and may arrive in
+// any order, so N concurrent callers share a small bounded pool of
+// pipelined connections instead of checking a connection out per call.
+// The server dispatches each connection's requests across a bounded
+// worker group, overlapping shard reads behind one socket.
+//
+// Shard ownership is live: the reassign op moves partitions in and out
+// of a running server's served set (a planned handoff, driven by
+// zoomer-shard's admin mode), the routing-epoch op polls the server's
+// current ownership, and a Cluster-assembled engine follows a migration
+// automatically — the first redirected call refreshes the binding and
+// retries against the new owner, with zero failed calls surfaced and
+// draws bit-identical to an undisturbed cluster (the handoff tests pin
+// this down).
 //
 // Determinism across the wire is the load-bearing property: RNG state
 // (single samples) or the derived-sub-stream base (batches) travels in
@@ -71,8 +81,10 @@ func parsePreface(p []byte) (uint32, error) {
 type Op byte
 
 // The request vocabulary: the four GraphService methods, the batch call
-// mirroring SampleNeighborsBatchInto, and the two handshake reads
-// (metadata and the routing table).
+// mirroring SampleNeighborsBatchInto, the two handshake reads (metadata
+// and the routing table), and the live-handoff pair — reassign (an admin
+// command: acquire or drain one partition) and routing-epoch (the cheap
+// ownership poll clients refresh from after a redirect).
 const (
 	OpInfo Op = iota + 1
 	OpRouting
@@ -81,6 +93,8 @@ const (
 	OpNeighbors
 	OpFeatures
 	OpContent
+	OpReassign
+	OpEpoch
 	numOps
 )
 
@@ -101,14 +115,35 @@ func (o Op) String() string {
 		return "features"
 	case OpContent:
 		return "content"
+	case OpReassign:
+		return "reassign"
+	case OpEpoch:
+		return "routing-epoch"
 	default:
 		return fmt.Sprintf("op(%d)", byte(o))
 	}
 }
 
+// Reassign actions (the first payload byte of an OpReassign request).
+const (
+	// ReassignAcquire commands the server to load the partition's
+	// CSR+alias store and start serving it.
+	ReassignAcquire = 0
+	// ReassignRelease commands the server to drain the partition:
+	// requests already dispatched complete, subsequent ones are answered
+	// with the wrong-epoch redirect.
+	ReassignRelease = 1
+)
+
 const (
 	statusOK  = 0
 	statusErr = 1
+	// statusMoved is the wrong-epoch redirect: the target partition is
+	// not (or no longer) owned by this server. The payload is the
+	// server's current routing epoch (u64) and the shard id (u32); the
+	// client surfaces it as engine.ErrWrongEpoch, which triggers the
+	// engine's one-shot ownership refresh and retry.
+	statusMoved = 2
 
 	// maxFrame bounds a frame body; anything larger is a protocol error,
 	// not a legitimate message (the largest real payloads are batch

@@ -18,6 +18,19 @@
 // per call, so segment refresh batches overlap freely with synchronous
 // miss fills and with each other on the same sockets — a refresher never
 // holds a connection hostage while a user request waits.
+//
+// Cache segments are keyed by the node-to-shard assignment, which is
+// immutable for the lifetime of a partitioned graph; a live shard
+// handoff moves a partition between servers, not nodes between
+// partitions. So when a shard drains, every segment keeps its key and
+// its entries, and the segment's refreshers and miss fills follow the
+// moved shard automatically through the engine's ownership refresh: the
+// first redirected batch is retried against the new owner inside the
+// engine, cached entries stay valid throughout (they are samples, not
+// server addresses), and at no point does a request observe the
+// migration. Only a genuine outage degrades service, and then by policy:
+// refreshers drop their batch (stale beats corrupt) and miss fills serve
+// an empty neighbor set.
 package serve
 
 import (
