@@ -1,10 +1,10 @@
 # Tier-1 verification and perf tooling for the Zoomer reproduction.
 
-.PHONY: verify test race bench bench-compare docs-check ci
+.PHONY: verify test race chaos bench bench-compare docs-check ci
 
-# The full CI gate: tier-1 verify, race hammer, perf regression check,
-# documentation link check.
-ci: verify race bench-compare docs-check
+# The full CI gate: tier-1 verify, race hammer, fault-injection suite,
+# perf regression check, documentation link check.
+ci: verify race chaos bench-compare docs-check
 
 # The tier-1 loop: vet + build + test.
 verify:
@@ -19,6 +19,14 @@ test:
 # client connection pool included).
 race:
 	go test -race ./internal/engine/... ./internal/serve/... ./internal/sampling/... ./internal/partition/... ./internal/rpc/...
+
+# Fault-injection suite under the race detector: server kill/restart and
+# churn, replica failover mid-batch, rolling upgrade, zero-replica
+# degradation, dynamic membership, stalled-member refresh, circuit
+# breaker (open/decay/waiter adoption), mux in-flight kill.
+chaos:
+	go test -race -count=1 -run 'TestShardFailureAndReconnect|TestNoPartialResultsUnderChurn|TestClientPoolConcurrency|TestMuxInFlightFailure|TestMuxSharedConnectionHammer|TestKillReplicaMidBatch|TestZeroHealthyReplicasTyped|TestRollingUpgrade|TestMembershipDiscovery|TestRefreshSkipsStalledServer|TestReplicatedClusterSpreadsLoad|TestCircuit' ./internal/rpc/
+	go test -race -count=1 -run 'TestReplica' ./internal/engine/
 
 # Hot-path benchmarks -> BENCH_hotpath.json (perf trajectory across PRs).
 bench:

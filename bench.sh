@@ -30,6 +30,11 @@ go test -run '^$' -bench 'BenchmarkSearchInto' -benchmem -count 1 ./internal/ann
 # (serial + concurrent callers on the shared multiplexed pool) and the
 # multi-shard remote tree.
 go test -run '^$' -bench 'BenchmarkRPCRoundTrip|BenchmarkRemoteBatch$|BenchmarkRemoteBatchParallel|BenchmarkRemoteTree' -benchmem -count 1 ./internal/rpc/ | tee -a "$TMP" >&2
+# Failover latency: first draw after a replica kill (fixed iteration
+# count — every iteration rebuilds a 2-server cluster outside the timer)
+# and steady-state draws with one replica dead.
+go test -run '^$' -bench 'BenchmarkFailoverFirstDraw' -benchtime 50x -count 1 ./internal/rpc/ 2>/dev/null | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkFailoverDeadReplica' -benchmem -count 1 ./internal/rpc/ 2>/dev/null | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkAblationAlias' -benchmem -count 1 . | tee -a "$TMP" >&2
 
 # Fold "BenchmarkName  N  x ns/op  y B/op  z allocs/op" lines into JSON.

@@ -15,23 +15,46 @@
 // -out) instead of regenerated, so every server — and the serving tier —
 // is guaranteed the identical graph.
 //
-// The wire protocol (version 2) multiplexes many in-flight requests per
+// The wire protocol (version 3) multiplexes many in-flight requests per
 // connection; -rpc-workers bounds how many of one connection's requests
 // are dispatched concurrently and -rpc-window how many may queue behind
 // them. A client that speaks the old one-request-per-connection protocol
 // is rejected loudly at the preface handshake.
+//
+// # Replicas and dynamic membership
+//
+// With -advertise the server announces a reachable address to the
+// cluster: its routing blobs carry replica placement, its redirects and
+// epoch polls carry the member list, and a serving tier discovers it
+// even when dialed before it existed. -join names any live member to
+// announce to at startup — the one step that makes a freshly started
+// server discoverable:
+//
+//	zoomer-shard -own 0,1 -listen :7003 -advertise localhost:7003 -join localhost:7001
+//
+// Multiple servers may own the same partitions at once (N-way replicas):
+// a serving tier spreads reads across all of them and fails over
+// transparently when one dies.
 //
 // # Admin mode: live shard handoff
 //
 // With -admin the binary acts as an admin client to a running server
 // instead of serving itself: -acquire/-release send reassign commands
 // that move partitions in and out of the server's served set at runtime,
-// and -status prints the server's routing epoch and owned partitions.
-// To migrate partition 1 from the :7001 server to the :7002 server with
-// zero downtime, acquire on the destination before draining the source:
+// and -status prints the server's routing epoch, owned partitions and
+// member view. To migrate partition 1 from the :7001 server to the
+// :7002 server with zero downtime, acquire on the destination before
+// draining the source:
 //
 //	zoomer-shard -admin localhost:7002 -acquire 1
 //	zoomer-shard -admin localhost:7001 -release 1
+//
+// Admin operations are deadline-bounded: the target server is probed
+// with -admin-retries short-deadline attempts (backing off between
+// them) before any command is sent, so an unreachable server fails
+// within seconds instead of hanging. Exit codes: 0 success, 1 command
+// refused/failed, 2 usage error, 3 server unreachable within the
+// deadline (rpc.ErrAdminDeadline).
 //
 // A serving tier attached with zoomer-serve -remote follows the move on
 // its own: the first request that hits the drained server is answered
@@ -41,6 +64,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -68,19 +92,26 @@ func main() {
 	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
 	rpcWorkers := flag.Int("rpc-workers", 0, "concurrent request dispatch per connection (0 = default 4)")
 	rpcWindow := flag.Int("rpc-window", 0, "buffered requests per connection before the read loop blocks (0 = default 64)")
+	advertise := flag.String("advertise", "", "address to announce to the cluster (enables membership + replica placement)")
+	join := flag.String("join", "", "comma-separated addresses of live cluster members to announce to at startup (requires -advertise)")
 	admin := flag.String("admin", "", "admin mode: address of a running zoomer-shard to command instead of serving")
 	acquire := flag.String("acquire", "", "comma-separated partition ids the -admin server should acquire")
 	release := flag.String("release", "", "comma-separated partition ids the -admin server should drain")
-	status := flag.Bool("status", false, "with -admin: print the server's routing epoch and owned partitions")
+	status := flag.Bool("status", false, "with -admin: print the server's routing epoch, owned partitions and member view")
 	adminTimeout := flag.Duration("admin-timeout", 5*time.Minute,
 		"per-command deadline in admin mode (an acquire blocks while the server builds the partition's alias tables)")
+	adminRetries := flag.Int("admin-retries", 3, "reachability probes before an admin command fails with exit code 3")
 	flag.Parse()
 
 	if *admin != "" {
-		os.Exit(runAdmin(*admin, *acquire, *release, *status, *adminTimeout))
+		os.Exit(runAdmin(*admin, *acquire, *release, *status, *adminTimeout, *adminRetries))
 	}
 	if *acquire != "" || *release != "" || *status {
 		fmt.Fprintln(os.Stderr, "-acquire/-release/-status require -admin <addr>")
+		os.Exit(2)
+	}
+	if *join != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "-join requires -advertise (the address to announce)")
 		os.Exit(2)
 	}
 
@@ -136,6 +167,7 @@ func main() {
 		Strategy:    strat,
 		Owned:       owned,
 		Replicas:    *replicas,
+		Advertise:   *advertise,
 		ConnWorkers: *rpcWorkers,
 		ConnWindow:  *rpcWindow,
 	})
@@ -145,6 +177,19 @@ func main() {
 	}
 	fmt.Printf("serving shards %v of %d on %s (%d replicas each)\n",
 		srv.OwnedShards(), *shards, srv.Addr(), *replicas)
+	if *join != "" {
+		for _, peer := range strings.Split(*join, ",") {
+			peer = strings.TrimSpace(peer)
+			if peer == "" {
+				continue
+			}
+			if err := srv.AnnounceTo(peer, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "join: %v (continuing; clients dialing %s directly still work)\n", err, *advertise)
+				continue
+			}
+			fmt.Printf("announced %s to cluster member %s\n", *advertise, peer)
+		}
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -171,11 +216,13 @@ func parseIDList(flagName, s string) ([]int, error) {
 
 // runAdmin drives a running shard server: acquire partitions first, then
 // drain (the order a zero-downtime handoff needs when both lists target
-// the same server), then report status. The generous default deadline
-// covers the server-side alias-table build an acquire blocks on — the
-// default RPC timeout would falsely fail a large acquire that is in
-// fact succeeding. Returns the process exit code.
-func runAdmin(addr, acquire, release string, status bool, timeout time.Duration) int {
+// the same server), then report status. The server is probed with
+// short-deadline attempts before any command goes out, so an
+// unreachable server fails within seconds (exit code 3, typed
+// rpc.ErrAdminDeadline) instead of hanging for the operation deadline —
+// which stays generous, covering the server-side alias-table build an
+// acquire blocks on. Returns the process exit code.
+func runAdmin(addr, acquire, release string, status bool, timeout time.Duration, retries int) int {
 	acq, err := parseIDList("-acquire", acquire)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -190,33 +237,42 @@ func runAdmin(addr, acquire, release string, status bool, timeout time.Duration)
 		fmt.Fprintln(os.Stderr, "-admin needs -acquire, -release or -status")
 		return 2
 	}
-	cl := rpc.NewClientWith(addr, rpc.ClientConfig{Timeout: timeout})
-	defer cl.Close()
+	code := func(err error) int {
+		if errors.Is(err, rpc.ErrAdminDeadline) {
+			return 3
+		}
+		return 1
+	}
+	adm := rpc.NewAdmin(addr, rpc.AdminConfig{Attempts: retries, OpTimeout: timeout})
+	defer adm.Close()
 	for _, id := range acq {
-		epoch, err := cl.Reassign(id, true)
+		epoch, err := adm.Reassign(id, true)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "acquire %d on %s: %v\n", id, addr, err)
-			return 1
+			return code(err)
 		}
 		fmt.Printf("%s acquired partition %d (routing epoch %d)\n", addr, id, epoch)
 	}
 	for _, id := range rel {
-		epoch, err := cl.Reassign(id, false)
+		epoch, err := adm.Reassign(id, false)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "release %d on %s: %v\n", id, addr, err)
-			return 1
+			return code(err)
 		}
 		fmt.Printf("%s drained partition %d (routing epoch %d)\n", addr, id, epoch)
 	}
 	if status {
-		epoch, owned, err := cl.RoutingEpoch()
+		epoch, owned, members, err := adm.Status()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "status of %s: %v\n", addr, err)
-			return 1
+			return code(err)
 		}
 		fmt.Printf("%s routing epoch %d, %d partitions:\n", addr, epoch, len(owned))
 		for _, sh := range owned {
 			fmt.Printf("  partition %d: %d nodes, %d edges\n", sh.ID, sh.Nodes, sh.Edges)
+		}
+		if len(members) > 0 {
+			fmt.Printf("  members: %s\n", strings.Join(members, ", "))
 		}
 	}
 	return 0

@@ -20,11 +20,12 @@ type BatchScratch struct {
 	order  []int32
 	gids   []graph.NodeID // entry node ids reordered by owning shard
 
-	// Parallel fan-out state: one result slot and one in-flight handle
-	// slot per shard, plus the caller's completion barrier for
-	// worker-dispatched visits — all reused across batches.
+	// Parallel fan-out state: one result slot, one in-flight handle slot
+	// and one picked-replica slot per shard, plus the caller's completion
+	// barrier for worker-dispatched visits — all reused across batches.
 	visits  []visitRes
 	handles []BatchHandle
+	bes     []ShardBackend
 	wg      sync.WaitGroup
 
 	// SampleTree buffers: the flat tree, the current frontier and the
@@ -46,20 +47,23 @@ func (bs *BatchScratch) orNew() *BatchScratch {
 	return bs
 }
 
-// visitBufs returns the per-shard result and handle slots for one
-// parallel batch.
-func (bs *BatchScratch) visitBufs(shards int) ([]visitRes, []BatchHandle) {
+// visitBufs returns the per-shard result, handle and picked-replica
+// slots for one parallel batch.
+func (bs *BatchScratch) visitBufs(shards int) ([]visitRes, []BatchHandle, []ShardBackend) {
 	if cap(bs.visits) < shards {
 		bs.visits = make([]visitRes, shards)
 		bs.handles = make([]BatchHandle, shards)
+		bs.bes = make([]ShardBackend, shards)
 	}
 	bs.visits = bs.visits[:shards]
 	bs.handles = bs.handles[:shards]
+	bs.bes = bs.bes[:shards]
 	for i := range bs.visits {
 		bs.visits[i] = visitRes{}
 		bs.handles[i] = nil
+		bs.bes[i] = nil
 	}
-	return bs.visits, bs.handles
+	return bs.visits, bs.handles, bs.bes
 }
 
 func (bs *BatchScratch) groupBufs(entries, shards int) (counts, order []int32, gids []graph.NodeID) {
@@ -138,11 +142,13 @@ func (e *Engine) SampleNeighborsBatchInto(ids []graph.NodeID, k int, out []graph
 	base := r.Uint64()
 	set := e.bset.Load()
 	total, err := e.batchVisits(set, ids, base, k, out, ns, bs)
-	for retry := 0; retry < maxEpochRetries && err != nil && errors.Is(err, ErrWrongEpoch) && e.refresh(set); retry++ {
-		// The shard moved mid-batch. Every count was zeroed, the base is
-		// in hand and sub-streams derive from (base, entry index) alone,
-		// so re-running the whole batch against the refreshed view yields
-		// exactly the draws an up-to-date caller would have seen.
+	for retry := 0; retry < maxEpochRetries && err != nil && retryable(err) && e.refresh(set); retry++ {
+		// The shard moved mid-batch, or a whole replica group was
+		// unreachable and the refresh rebound it. Every count was zeroed,
+		// the base is in hand and sub-streams derive from (base, entry
+		// index) alone, so re-running the whole batch against the
+		// refreshed view yields exactly the draws an up-to-date caller
+		// would have seen.
 		set = e.bset.Load()
 		total, err = e.batchVisits(set, ids, base, k, out, ns, bs)
 	}
@@ -187,15 +193,17 @@ func (e *Engine) batchVisits(set *backendSet, ids []graph.NodeID, base uint64, k
 	if remoteGroups <= 1 {
 		// Sequential inline visits: the local-only steady state (zero
 		// allocation, no cross-goroutine handoff) and the degenerate
-		// single-remote-group case, where fan-out buys nothing.
+		// single-remote-group case, where fan-out buys nothing. Each visit
+		// fails over across its partition's replicas inside visitShard.
 		total := 0
+		failover := false
 		start := int32(0)
-		for si, be := range set.backends {
+		for si := range set.backends {
 			end := counts[si]
 			if end == start {
 				continue
 			}
-			n, err := be.SampleBatchInto(gids[start:end], order[start:end], base, k, out, ns)
+			n, fo, err := set.visitShard(si, gids[start:end], order[start:end], base, k, out, ns)
 			if err != nil {
 				for i := range ids {
 					ns[i] = 0
@@ -203,7 +211,11 @@ func (e *Engine) batchVisits(set *backendSet, ids []graph.NodeID, base uint64, k
 				return 0, fmt.Errorf("engine: batch visit to shard %d: %w", si, err)
 			}
 			total += n
+			failover = failover || fo
 			start = end
+		}
+		if failover {
+			e.kickRefresh(set)
 		}
 		return total, nil
 	}
@@ -218,13 +230,22 @@ func (e *Engine) batchVisits(set *backendSet, ids []graph.NodeID, base uint64, k
 	// disjoint regions of out/ns, so no synchronization beyond the
 	// barrier/awaits is needed and the merged result is bit-identical to
 	// the sequential path.
-	visits, handles := bs.visitBufs(len(set.backends))
+	visits, handles, bes := bs.visitBufs(len(set.backends))
 	pooled := 0
 	start := int32(0)
 	for si := range set.backends {
 		end := counts[si]
 		if end > start && set.locals[si] == nil {
-			if starter, ok := set.backends[si].(BatchStarter); ok {
+			// One replica is picked (load-aware) and charged per group per
+			// batch; a failed visit is retried on the siblings at collect
+			// time, after every in-flight visit has settled.
+			g := set.groups[si]
+			be := g[0]
+			if len(g) > 1 {
+				be = g[set.pick(si, g)]
+			}
+			bes[si] = be
+			if starter, ok := be.(BatchStarter); ok {
 				handles[si] = starter.StartSampleBatch(gids[start:end], order[start:end], base, k, out, ns)
 			} else {
 				pooled++
@@ -240,7 +261,7 @@ func (e *Engine) batchVisits(set *backendSet, ids []graph.NodeID, base uint64, k
 			end := counts[si]
 			if end > start && set.locals[si] == nil && handles[si] == nil {
 				e.fanoutCh <- visitJob{
-					be:   set.backends[si],
+					be:   bes[si],
 					gids: gids[start:end],
 					idx:  order[start:end],
 					base: base,
@@ -282,6 +303,23 @@ func (e *Engine) batchVisits(set *backendSet, ids []graph.NodeID, base uint64, k
 		bs.wg.Wait()
 	}
 
+	// Failover sweep: a visit that died with a transport failure is redone
+	// on the partition's surviving replicas (visitShard walks the full
+	// rotation; the advanced cursor and the health check steer it away
+	// from the replica that just failed). It runs only after every
+	// in-flight visit has settled, so the redo owns its disjoint out/ns
+	// regions exclusively and the merged result stays bit-identical.
+	failover := false
+	start = 0
+	for si := range set.backends {
+		end := counts[si]
+		if end > start && len(set.groups[si]) > 1 && visits[si].err != nil && errors.Is(visits[si].err, ErrShardUnavailable) {
+			visits[si].n, _, visits[si].err = set.visitShard(si, gids[start:end], order[start:end], base, k, out, ns)
+			failover = true
+		}
+		start = end
+	}
+
 	total := 0
 	for si := range visits {
 		if err := visits[si].err; err != nil {
@@ -291,6 +329,9 @@ func (e *Engine) batchVisits(set *backendSet, ids []graph.NodeID, base uint64, k
 			return 0, fmt.Errorf("engine: batch visit to shard %d: %w", si, err)
 		}
 		total += visits[si].n
+	}
+	if failover {
+		e.kickRefresh(set)
 	}
 	return total, nil
 }

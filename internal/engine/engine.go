@@ -46,6 +46,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zoomer/internal/graph"
 	"zoomer/internal/partition"
@@ -60,6 +61,50 @@ import (
 // the refreshed backends, so a planned shard handoff never surfaces to
 // callers; backends wrap this error (check with errors.Is).
 var ErrWrongEpoch = errors.New("engine: shard ownership moved (stale routing epoch)")
+
+// ErrShardUnavailable is the typed transport failure a backend returns
+// when its store could not be reached at all: the server is down, the
+// connection died mid-call, or the client-side failure circuit refused
+// the call. It lives here (rather than in the RPC package that produces
+// it) because the routing layer's failover policy keys on it: a
+// transport failure moves the call to the next replica of the partition,
+// while every other error passes through untouched. internal/rpc aliases
+// it as rpc.ErrShardUnavailable; check with errors.Is at any layer.
+var ErrShardUnavailable = errors.New("shard unavailable (transport failure)")
+
+// ErrNoReplicas is the zero-healthy-replicas condition: every replica of
+// one partition failed at the transport level in a single call, so the
+// partition is effectively down. Errors matching it also match
+// ErrShardUnavailable (through the last transport failure they wrap), so
+// existing availability checks keep firing; the extra identity lets
+// operators distinguish "one replica died and failover absorbed it"
+// (never surfaced) from "the whole partition is dark" (surfaced, typed).
+var ErrNoReplicas = errors.New("engine: no healthy replica for shard")
+
+// replicasExhaustedError reports that every replica of a partition
+// failed under one call. It matches ErrNoReplicas via Is and unwraps to
+// the last transport failure, so errors.Is sees both identities.
+type replicasExhaustedError struct {
+	shard    int
+	replicas int
+	last     error
+}
+
+func (e *replicasExhaustedError) Error() string {
+	return fmt.Sprintf("engine: shard %d: all %d replicas unavailable: %v", e.shard, e.replicas, e.last)
+}
+func (e *replicasExhaustedError) Is(target error) bool { return target == ErrNoReplicas }
+func (e *replicasExhaustedError) Unwrap() error        { return e.last }
+
+// retryable reports whether a failed call should refresh the ownership
+// view and retry: the shard moved under a live handoff (wrong epoch), or
+// its replicas are all unreachable — in which case a refresh may rebind
+// the partition to servers that joined the cluster since this view was
+// installed (dynamic membership), absorbing a full replica-set loss the
+// same way a handoff is absorbed.
+func retryable(err error) bool {
+	return errors.Is(err, ErrWrongEpoch) || errors.Is(err, ErrShardUnavailable)
+}
 
 // GraphService is the read surface of one graph store: weighted neighbor
 // sampling plus the node attribute reads the samplers and the serving
@@ -139,6 +184,16 @@ type BackendStats interface {
 	ShardSize() (nodes, edges int)
 }
 
+// HealthReporter is optionally implemented by backends that track their
+// transport health (the RPC stub does, from its client's consecutive-
+// failure circuit). The replica pick consults it so steady-state traffic
+// flows around a replica whose circuit is open instead of paying a
+// failed attempt per call; a backend without the facet is always
+// considered healthy. When every replica of a group reports unhealthy
+// the pick falls through to the rotation slot unchanged, so the circuit's
+// single-probe recovery path still sees traffic.
+type HealthReporter interface{ Healthy() bool }
+
 // Both the routing layer and the in-process shard serve the same surface,
 // and the in-process shard is a (never-failing) backend.
 var (
@@ -157,18 +212,102 @@ type Config struct {
 // DefaultConfig mirrors a small production deployment.
 func DefaultConfig() Config { return Config{Shards: 4, Replicas: 2, Strategy: partition.Hash} }
 
-// backendSet is one immutable view of shard ownership: which store
-// serves each partition right now. The Engine publishes it behind an
-// atomic pointer so the hot path reads it with a single load — no lock —
-// and a live handoff installs a whole new set in one store. A caller
-// that loaded a set keeps using it for the duration of its call:
-// in-flight batches complete against the backends they started on, and
-// only the next call observes the swap.
+// backendSet is one immutable view of shard ownership: which stores
+// serve each partition right now. Every partition has a replica group —
+// one or more interchangeable backends at the same epoch (N-way server
+// replication; any of them serves a read bit-identically, because draws
+// happen shard-side from request-carried state). The Engine publishes
+// the set behind an atomic pointer so the hot path reads it with a
+// single load — no lock — and a live handoff installs a whole new set in
+// one store. A caller that loaded a set keeps using it for the duration
+// of its call: in-flight batches complete against the backends they
+// started on, and only the next call observes the swap.
+//
+// The per-partition cursors are the only mutable state: rotation
+// counters for the load-aware replica pick, deliberately inside the set
+// (not the Engine) so a pick never dereferences a group from one view
+// with a cursor sized for another.
 type backendSet struct {
-	epoch     uint64         // local install counter; bumps on every swap
-	backends  []ShardBackend // one per partition
-	locals    []*Shard       // locals[i] non-nil iff backends[i] is in-process
+	epoch     uint64           // local install counter; bumps on every swap
+	groups    [][]ShardBackend // replica group per partition, never empty
+	backends  []ShardBackend   // groups[i][0]; the single-owner accessors' view
+	locals    []*Shard         // locals[i] non-nil iff partition i is one in-process shard
 	hasRemote bool
+	cursors   []atomic.Uint32 // per-partition replica rotation
+}
+
+// pick returns the index within partition si's replica group to try
+// first: round-robin rotation over the group, skipping replicas whose
+// failure circuit reports unhealthy. When every replica is unhealthy the
+// rotation slot is returned unchanged — exactly one caller at a time
+// probes an open circuit; the rest fail fast inside the backend and fail
+// over here.
+func (set *backendSet) pick(si int, g []ShardBackend) int {
+	start := int(set.cursors[si].Add(1)) % len(g)
+	for t := 0; t < len(g); t++ {
+		i := start + t
+		if i >= len(g) {
+			i -= len(g)
+		}
+		if h, ok := g[i].(HealthReporter); !ok || h.Healthy() {
+			return i
+		}
+	}
+	return start
+}
+
+// sampleShard runs one replicated single-sample read against partition
+// si of this view: the picked replica first, then — on a transport
+// failure — each surviving replica in turn. Failover is invisible to the
+// caller and bit-exact: a failed attempt never consumes r (the
+// ShardBackend contract), so the retry on a sibling replica draws from
+// identical state. failover reports whether any replica failed under
+// this call, so the caller can kick an asynchronous ownership refresh
+// that rebinds the dead replica out of the view.
+func (set *backendSet) sampleShard(si int, id graph.NodeID, out []graph.NodeID, r *rng.RNG) (n int, failover bool, err error) {
+	g := set.groups[si]
+	if len(g) == 1 {
+		n, err = g[0].SampleInto(id, out, r)
+		return n, false, err
+	}
+	start := set.pick(si, g)
+	for t := 0; t < len(g); t++ {
+		i := start + t
+		if i >= len(g) {
+			i -= len(g)
+		}
+		n, err = g[i].SampleInto(id, out, r)
+		if err == nil || !errors.Is(err, ErrShardUnavailable) {
+			return n, t > 0, err
+		}
+	}
+	return 0, true, &replicasExhaustedError{shard: si, replicas: len(g), last: err}
+}
+
+// visitShard is sampleShard for one scatter-gather batch visit: same
+// replica rotation, same transport-failover loop. Safe for the same
+// reason batches are deterministic at all — the visit's draws derive
+// from (base, entry index) carried in the request, and a failed visit's
+// writes to out/ns are fully overwritten by the retried one (same
+// disjoint regions).
+func (set *backendSet) visitShard(si int, gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (n int, failover bool, err error) {
+	g := set.groups[si]
+	if len(g) == 1 {
+		n, err = g[0].SampleBatchInto(gids, idx, base, k, out, ns)
+		return n, false, err
+	}
+	start := set.pick(si, g)
+	for t := 0; t < len(g); t++ {
+		i := start + t
+		if i >= len(g) {
+			i -= len(g)
+		}
+		n, err = g[i].SampleBatchInto(gids, idx, base, k, out, ns)
+		if err == nil || !errors.Is(err, ErrShardUnavailable) {
+			return n, t > 0, err
+		}
+	}
+	return 0, true, &replicasExhaustedError{shard: si, replicas: len(g), last: err}
 }
 
 // RefreshFunc re-resolves shard ownership after a wrong-epoch redirect,
@@ -190,9 +329,16 @@ type Engine struct {
 
 	// Ownership refresh state: the installed refresher and the lock that
 	// single-flights it (never taken on the hot path — only after a
-	// wrong-epoch redirect).
-	refreshMu sync.Mutex
-	refreshFn RefreshFunc
+	// wrong-epoch redirect or a replica failover). refreshFailedAt
+	// (guarded by refreshMu) is the bounded-backoff half of failover: a
+	// failed refresh is not re-attempted within refreshFailCooldown, so a
+	// burst of calls against a dark partition degrades fast and typed
+	// instead of hammering the ownership poll. refreshKick single-flights
+	// the asynchronous refresh a successful failover schedules.
+	refreshMu       sync.Mutex
+	refreshFn       RefreshFunc
+	refreshFailedAt time.Time
+	refreshKick     atomic.Bool
 
 	// Parallel scatter-gather state (engines with remote backends only):
 	// a lazily started, bounded pool of fan-out workers that dispatch a
@@ -291,7 +437,7 @@ func New(g *graph.Graph, cfg Config) *Engine {
 		backends[i] = locals[i]
 	}
 	buildShardTables(locals)
-	e.bset.Store(&backendSet{backends: backends, locals: locals})
+	e.bset.Store(newBackendSet(0, backends))
 	return e
 }
 
@@ -304,8 +450,23 @@ func New(g *graph.Graph, cfg Config) *Engine {
 // access is unavailable, exactly as for a serving client in the paper's
 // deployment.
 func NewWithBackends(routing *partition.Routing, backends []ShardBackend, contentDim int) *Engine {
-	if routing.NumShards() != len(backends) {
-		panic(fmt.Sprintf("engine: %d backends for %d shards", len(backends), routing.NumShards()))
+	groups := make([][]ShardBackend, len(backends))
+	for i, be := range backends {
+		groups[i] = []ShardBackend{be}
+	}
+	return NewWithReplicaSets(routing, groups, contentDim)
+}
+
+// NewWithReplicaSets is NewWithBackends for an N-way replicated cluster:
+// groups[i] holds every interchangeable store of partition i (at least
+// one; typically the stubs of every server claiming the partition at the
+// current epoch). Reads rotate across a group's healthy members and fail
+// over within the group on a transport failure — a single replica death
+// is absorbed below the GraphService surface; only a whole group failing
+// surfaces, typed (ErrNoReplicas, still matching ErrShardUnavailable).
+func NewWithReplicaSets(routing *partition.Routing, groups [][]ShardBackend, contentDim int) *Engine {
+	if routing.NumShards() != len(groups) {
+		panic(fmt.Sprintf("engine: %d replica groups for %d shards", len(groups), routing.NumShards()))
 	}
 	e := &Engine{
 		routing:    routing,
@@ -313,28 +474,52 @@ func NewWithBackends(routing *partition.Routing, backends []ShardBackend, conten
 		numNodes:   routing.NumNodes(),
 		contentDim: contentDim,
 	}
-	set := newBackendSet(0, backends)
-	for _, s := range set.locals {
+	set := newReplicaSet(0, groups)
+	for i, s := range set.locals {
 		if s != nil && len(s.replicas) > e.replicas {
 			e.replicas = len(s.replicas)
+		}
+		if n := len(set.groups[i]); n > e.replicas {
+			e.replicas = n
 		}
 	}
 	e.bset.Store(set)
 	return e
 }
 
-// newBackendSet classifies backends into an immutable ownership view.
+// newBackendSet wraps single-owner backends into one-member replica
+// groups — the unreplicated ownership view.
 func newBackendSet(epoch uint64, backends []ShardBackend) *backendSet {
+	groups := make([][]ShardBackend, len(backends))
+	for i := range backends {
+		groups[i] = backends[i : i+1 : i+1]
+	}
+	return newReplicaSet(epoch, groups)
+}
+
+// newReplicaSet classifies replica groups into an immutable ownership
+// view. Every partition must have at least one backend; the first member
+// of each group is its primary (the view of the single-owner accessors).
+func newReplicaSet(epoch uint64, groups [][]ShardBackend) *backendSet {
 	set := &backendSet{
 		epoch:    epoch,
-		backends: backends,
-		locals:   make([]*Shard, len(backends)),
+		groups:   groups,
+		backends: make([]ShardBackend, len(groups)),
+		locals:   make([]*Shard, len(groups)),
+		cursors:  make([]atomic.Uint32, len(groups)),
 	}
-	for i, be := range backends {
-		if s, ok := be.(*Shard); ok {
+	for i, g := range groups {
+		if len(g) == 0 {
+			panic(fmt.Sprintf("engine: empty replica group for shard %d", i))
+		}
+		set.backends[i] = g[0]
+		if s, ok := g[0].(*Shard); ok && len(g) == 1 {
 			set.locals[i] = s
-		} else {
-			set.hasRemote = true
+		}
+		for _, be := range g {
+			if _, ok := be.(*Shard); !ok {
+				set.hasRemote = true
+			}
 		}
 	}
 	return set
@@ -354,7 +539,28 @@ func (e *Engine) InstallBackends(backends []ShardBackend) {
 		panic(fmt.Sprintf("engine: InstallBackends with %d backends for %d shards",
 			len(backends), e.routing.NumShards()))
 	}
-	set := newBackendSet(0, append([]ShardBackend(nil), backends...))
+	copied := append([]ShardBackend(nil), backends...)
+	groups := make([][]ShardBackend, len(copied))
+	for i := range copied {
+		groups[i] = copied[i : i+1 : i+1]
+	}
+	e.installSet(newReplicaSet(0, groups))
+}
+
+// InstallReplicaSets is InstallBackends for replica groups: it atomically
+// replaces the whole N-way binding (rpc.Cluster.Refresh installs the
+// claimant set of every partition through it after polling the cluster).
+// The outer slice is copied; the inner group slices transfer to the
+// engine and must not be mutated afterwards.
+func (e *Engine) InstallReplicaSets(groups [][]ShardBackend) {
+	if len(groups) != e.routing.NumShards() {
+		panic(fmt.Sprintf("engine: InstallReplicaSets with %d groups for %d shards",
+			len(groups), e.routing.NumShards()))
+	}
+	e.installSet(newReplicaSet(0, append([][]ShardBackend(nil), groups...)))
+}
+
+func (e *Engine) installSet(set *backendSet) {
 	for {
 		old := e.bset.Load()
 		set.epoch = old.epoch + 1
@@ -380,11 +586,20 @@ func (e *Engine) SetRefresh(fn RefreshFunc) {
 // observe that a handoff-triggered refresh actually happened.
 func (e *Engine) Epoch() uint64 { return e.bset.Load().epoch }
 
+// refreshFailCooldown bounds how often a failing refresher is re-run:
+// when a whole partition is dark, every call fails over, exhausts the
+// replica group and lands here — one ownership poll per cooldown window
+// services the lot, and the rest degrade immediately with the typed
+// error. Short enough that a replacement server is adopted within a
+// blink of announcing itself.
+const refreshFailCooldown = 250 * time.Millisecond
+
 // refresh single-flights the installed refresher after a call against
-// stale observed a wrong-epoch redirect. It reports whether the caller
-// should retry: true when the ownership view changed (by the refresher,
-// or concurrently by another caller's refresh), false when no refresher
-// is installed or it failed.
+// stale observed a wrong-epoch redirect or exhausted a replica group. It
+// reports whether the caller should retry: true when the ownership view
+// changed (by the refresher, or concurrently by another caller's
+// refresh), false when no refresher is installed, it failed, or a recent
+// failure is still cooling down.
 func (e *Engine) refresh(stale *backendSet) bool {
 	e.refreshMu.Lock()
 	defer e.refreshMu.Unlock()
@@ -394,7 +609,31 @@ func (e *Engine) refresh(stale *backendSet) bool {
 	if e.refreshFn == nil {
 		return false
 	}
-	return e.refreshFn() == nil
+	if !e.refreshFailedAt.IsZero() && time.Since(e.refreshFailedAt) < refreshFailCooldown {
+		return false // bounded backoff: a refresh just failed, don't hammer the poll
+	}
+	if err := e.refreshFn(); err != nil {
+		e.refreshFailedAt = time.Now()
+		return false
+	}
+	e.refreshFailedAt = time.Time{}
+	return true
+}
+
+// kickRefresh schedules one asynchronous ownership refresh of the given
+// view, single-flighted by an atomic flag. The failover paths call it
+// after a call succeeded on a sibling replica: the caller already has
+// its result, but the view still routes a share of traffic at the dead
+// replica — the refresh rebinds the partition to its surviving (and any
+// newly joined) claimants without any caller paying the poll latency.
+func (e *Engine) kickRefresh(stale *backendSet) {
+	if !e.refreshKick.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer e.refreshKick.Store(false)
+		e.refresh(stale)
+	}()
 }
 
 // BuildShard constructs the in-process store for one partition of part
@@ -465,9 +704,13 @@ func (e *Engine) ShardOf(id graph.NodeID) int { return e.routing.Owner(id) }
 // nil when that partition is served by a remote backend.
 func (e *Engine) Shard(i int) *Shard { return e.bset.Load().locals[i] }
 
-// Backend returns partition i's store as the routing layer currently
-// holds it (the live ownership view; a handoff swaps it).
+// Backend returns partition i's primary store as the routing layer
+// currently holds it (the live ownership view; a handoff swaps it).
 func (e *Engine) Backend(i int) ShardBackend { return e.bset.Load().backends[i] }
+
+// ReplicaSet returns partition i's current replica group (primary
+// first). The slice is shared with the live ownership view — read-only.
+func (e *Engine) ReplicaSet(i int) []ShardBackend { return e.bset.Load().groups[i] }
 
 // must surfaces a backend failure on the error-free GraphService surface;
 // see the package comment's error contract.
@@ -485,16 +728,45 @@ func must[T any](v T, err error) T {
 // that keeps moving the same shard out from under it.
 const maxEpochRetries = 3
 
+// readShard runs one replicated single-node read against partition si of
+// one ownership view — the attribute-read sibling of sampleShard, with
+// the same rotation and transport-failover loop.
+func readShard[T any](set *backendSet, si int, call func(ShardBackend) (T, error)) (v T, failover bool, err error) {
+	g := set.groups[si]
+	if len(g) == 1 {
+		v, err = call(g[0])
+		return v, false, err
+	}
+	start := set.pick(si, g)
+	for t := 0; t < len(g); t++ {
+		i := start + t
+		if i >= len(g) {
+			i -= len(g)
+		}
+		v, err = call(g[i])
+		if err == nil || !errors.Is(err, ErrShardUnavailable) {
+			return v, t > 0, err
+		}
+	}
+	var zero T
+	return zero, true, &replicasExhaustedError{shard: si, replicas: len(g), last: err}
+}
+
 // retryRead runs one single-node backend read against the current
-// ownership view, refreshing the view and retrying (bounded) when the
-// backend answers that the shard has moved. All other errors pass
-// through untouched.
+// ownership view — failing over across the owning partition's replicas —
+// and refreshes the view and retries (bounded) when the shard moved or
+// every replica was unreachable. All other errors pass through
+// untouched.
 func retryRead[T any](e *Engine, id graph.NodeID, call func(ShardBackend) (T, error)) (T, error) {
+	owner := e.routing.Owner(id)
 	set := e.bset.Load()
-	v, err := call(set.backends[e.routing.Owner(id)])
-	for retry := 0; retry < maxEpochRetries && err != nil && errors.Is(err, ErrWrongEpoch) && e.refresh(set); retry++ {
+	v, failover, err := readShard(set, owner, call)
+	for retry := 0; retry < maxEpochRetries && err != nil && retryable(err) && e.refresh(set); retry++ {
 		set = e.bset.Load()
-		v, err = call(set.backends[e.routing.Owner(id)])
+		v, failover, err = readShard(set, owner, call)
+	}
+	if failover && err == nil {
+		e.kickRefresh(set)
 	}
 	return v, err
 }
@@ -547,20 +819,28 @@ func (e *Engine) SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng
 // failures instead of panicking: on error 0 draws are reported, out is
 // unspecified and r is not consumed. A wrong-epoch redirect (the shard
 // moved servers) is absorbed by a one-shot ownership refresh and retry —
-// safe because a redirected call never consumes r. The serving cache's
-// synchronous miss path uses this call to degrade to an empty neighbor
-// set during a shard outage.
+// safe because a redirected call never consumes r. A replica's transport
+// failure is absorbed the same way one level down: the call fails over
+// to the partition's surviving replicas (none of which saw r consumed
+// either), and only a whole group failing escalates to the refresh-and-
+// retry loop, then surfaces typed. The serving cache's synchronous miss
+// path uses this call to degrade to an empty neighbor set during a full
+// shard outage.
 //
 // The retry loop is a hand-rolled copy of retryRead: this is the
 // single-sample hot path with a 0 allocs/op pin, and the closure
 // retryRead takes would risk a heap allocation per call. Keep the two
 // loops in sync.
 func (e *Engine) TrySampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error) {
+	owner := e.routing.Owner(id)
 	set := e.bset.Load()
-	n, err := set.backends[e.routing.Owner(id)].SampleInto(id, out, r)
-	for retry := 0; retry < maxEpochRetries && err != nil && errors.Is(err, ErrWrongEpoch) && e.refresh(set); retry++ {
+	n, failover, err := set.sampleShard(owner, id, out, r)
+	for retry := 0; retry < maxEpochRetries && err != nil && retryable(err) && e.refresh(set); retry++ {
 		set = e.bset.Load()
-		n, err = set.backends[e.routing.Owner(id)].SampleInto(id, out, r)
+		n, failover, err = set.sampleShard(owner, id, out, r)
+	}
+	if failover && err == nil {
+		e.kickRefresh(set)
 	}
 	return n, err
 }
@@ -588,7 +868,7 @@ func (e *Engine) Stats() Stats {
 	set := e.bset.Load()
 	st := Stats{Shards: len(set.backends), Replicas: e.replicas}
 	var total, maxShard int64
-	for i, be := range set.backends {
+	for i := range set.backends {
 		var perShard int64
 		var nodes, edges int
 		if s := set.locals[i]; s != nil {
@@ -599,12 +879,21 @@ func (e *Engine) Stats() Stats {
 			}
 			nodes, edges = s.store.NumNodes(), s.store.NumEdges()
 			st.CachedTables += s.Tables()
-		} else if bs, ok := be.(BackendStats); ok {
-			perShard = bs.Requests()
-			st.RequestsPerRep = append(st.RequestsPerRep, perShard)
-			nodes, edges = bs.ShardSize()
 		} else {
-			st.RequestsPerRep = append(st.RequestsPerRep, 0)
+			// A replicated partition reports one entry per server replica;
+			// the per-shard count is the sum over the group.
+			for _, be := range set.groups[i] {
+				if bs, ok := be.(BackendStats); ok {
+					c := bs.Requests()
+					st.RequestsPerRep = append(st.RequestsPerRep, c)
+					perShard += c
+					if nodes == 0 && edges == 0 {
+						nodes, edges = bs.ShardSize()
+					}
+				} else {
+					st.RequestsPerRep = append(st.RequestsPerRep, 0)
+				}
+			}
 		}
 		st.RequestsPerShard = append(st.RequestsPerShard, perShard)
 		st.NodesPerShard = append(st.NodesPerShard, nodes)

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
+	"zoomer/internal/rng"
+	"zoomer/internal/tensor"
+)
+
+// flakyBackend wraps a real in-process shard store behind the
+// ShardBackend seam with switchable transport failure and health — the
+// engine-level stand-in for a remote stub whose server died.
+type flakyBackend struct {
+	sh        *Shard
+	failing   atomic.Bool // calls return a transport failure
+	unhealthy atomic.Bool // HealthReporter says avoid me
+	calls     atomic.Int64
+}
+
+func (fb *flakyBackend) transportErr() error {
+	return fmt.Errorf("flaky: %w", ErrShardUnavailable)
+}
+
+func (fb *flakyBackend) SampleInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error) {
+	fb.calls.Add(1)
+	if fb.failing.Load() {
+		return 0, fb.transportErr()
+	}
+	return fb.sh.SampleInto(id, out, r)
+}
+
+func (fb *flakyBackend) SampleBatchInto(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (int, error) {
+	fb.calls.Add(1)
+	if fb.failing.Load() {
+		return 0, fb.transportErr()
+	}
+	return fb.sh.SampleBatchInto(gids, idx, base, k, out, ns)
+}
+
+func (fb *flakyBackend) NeighborsOf(id graph.NodeID) ([]graph.Edge, error) {
+	fb.calls.Add(1)
+	if fb.failing.Load() {
+		return nil, fb.transportErr()
+	}
+	return fb.sh.NeighborsOf(id)
+}
+
+func (fb *flakyBackend) FeaturesOf(id graph.NodeID) ([]int32, error) {
+	fb.calls.Add(1)
+	if fb.failing.Load() {
+		return nil, fb.transportErr()
+	}
+	return fb.sh.FeaturesOf(id)
+}
+
+func (fb *flakyBackend) ContentOf(id graph.NodeID) (tensor.Vec, error) {
+	fb.calls.Add(1)
+	if fb.failing.Load() {
+		return nil, fb.transportErr()
+	}
+	return fb.sh.ContentOf(id)
+}
+
+func (fb *flakyBackend) Healthy() bool { return !fb.unhealthy.Load() }
+
+// replicaFixture builds an engine whose every partition is served by a
+// replica group of two flaky wrappers over the same store, plus a plain
+// local engine for lockstep comparison.
+func replicaFixture(t *testing.T, shards int) (*Engine, *Engine, [][]*flakyBackend) {
+	t.Helper()
+	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 1))
+	g := graphbuild.Build(logs, graphbuild.DefaultConfig()).Graph
+	local := New(g, Config{Shards: 1, Replicas: 1})
+	part := partition.Split(g, shards, partition.Hash)
+	groups := make([][]ShardBackend, shards)
+	flaky := make([][]*flakyBackend, shards)
+	for id := 0; id < shards; id++ {
+		sh := BuildShard(part, id, 1)
+		a, b := &flakyBackend{sh: sh}, &flakyBackend{sh: sh}
+		flaky[id] = []*flakyBackend{a, b}
+		groups[id] = []ShardBackend{a, b}
+	}
+	e := NewWithReplicaSets(part.RoutingTable(), groups, g.ContentDim())
+	t.Cleanup(func() { e.Close() })
+	return e, local, flaky
+}
+
+// One replica of every group failing: single draws, batches and
+// attribute reads all succeed via the sibling with no caller-visible
+// error, and the draws stay bit-identical to an undisturbed engine (the
+// failed attempt consumes no RNG).
+func TestReplicaFailoverTransparent(t *testing.T) {
+	e, local, flaky := replicaFixture(t, 4)
+	for id := range flaky {
+		flaky[id][0].failing.Store(true)
+	}
+
+	rl, rr := rng.New(7), rng.New(7)
+	want := make([]graph.NodeID, 5)
+	got := make([]graph.NodeID, 5)
+	for id := 0; id < e.NumNodes(); id += 7 {
+		nid := graph.NodeID(id)
+		nw := local.SampleNeighborsInto(nid, want, rl)
+		ng, err := e.TrySampleNeighborsInto(nid, got, rr)
+		if err != nil {
+			t.Fatalf("node %d: failover leaked error: %v", id, err)
+		}
+		if nw != ng {
+			t.Fatalf("node %d: %d draws, want %d", id, ng, nw)
+		}
+		for i := 0; i < nw; i++ {
+			if want[i] != got[i] {
+				t.Fatalf("node %d draw %d: %d, want %d", id, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Batches: every shard group visits through the surviving sibling.
+	ids := make([]graph.NodeID, 0, 32)
+	for id := 0; id < 32; id++ {
+		ids = append(ids, graph.NodeID(id%e.NumNodes()))
+	}
+	const k = 4
+	bw := make([]graph.NodeID, len(ids)*k)
+	bg := make([]graph.NodeID, len(ids)*k)
+	nsw := make([]int32, len(ids))
+	nsg := make([]int32, len(ids))
+	for round := 0; round < 3; round++ {
+		nw, err := local.SampleNeighborsBatchInto(ids, k, bw, nsw, rl, nil)
+		if err != nil {
+			t.Fatalf("local batch: %v", err)
+		}
+		ng, err := e.SampleNeighborsBatchInto(ids, k, bg, nsg, rr, nil)
+		if err != nil {
+			t.Fatalf("round %d: batch failover leaked error: %v", round, err)
+		}
+		if nw != ng {
+			t.Fatalf("round %d: %d draws, want %d", round, ng, nw)
+		}
+		for i := range nsw {
+			if nsw[i] != nsg[i] {
+				t.Fatalf("round %d entry %d: count %d, want %d", round, i, nsg[i], nsw[i])
+			}
+		}
+		for i, v := range bw {
+			if bg[i] != v {
+				t.Fatalf("round %d draw %d: %d, want %d", round, i, bg[i], v)
+			}
+		}
+	}
+
+	// Attribute reads fail over too (Neighbors panics if they don't).
+	if got, want := len(e.Neighbors(0)), len(local.Neighbors(0)); got != want {
+		t.Fatalf("neighbors failover: %d edges, want %d", got, want)
+	}
+}
+
+// Zero healthy replicas degrades typed-and-loud: the error matches both
+// ErrNoReplicas (the group is exhausted) and ErrShardUnavailable (it is
+// a transport-shaped failure callers already check for), and ns carries
+// no partial results.
+func TestReplicasExhaustedTyped(t *testing.T) {
+	e, _, flaky := replicaFixture(t, 2)
+	for id := range flaky {
+		for _, fb := range flaky[id] {
+			fb.failing.Store(true)
+		}
+	}
+	r := rng.New(3)
+	out := make([]graph.NodeID, 4)
+	_, err := e.TrySampleNeighborsInto(0, out, r)
+	if err == nil {
+		t.Fatal("zero healthy replicas answered a sample")
+	}
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("error %v does not match ErrNoReplicas", err)
+	}
+	if !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("error %v does not match ErrShardUnavailable", err)
+	}
+
+	ids := []graph.NodeID{0, 1, 2, 3}
+	bout := make([]graph.NodeID, len(ids)*4)
+	ns := []int32{9, 9, 9, 9}
+	if _, err := e.SampleNeighborsBatchInto(ids, 4, bout, ns, r, nil); err == nil {
+		t.Fatal("zero healthy replicas answered a batch")
+	} else if !errors.Is(err, ErrNoReplicas) || !errors.Is(err, ErrShardUnavailable) {
+		t.Fatalf("batch error %v lacks the typed chain", err)
+	}
+	for i, n := range ns {
+		if n != 0 {
+			t.Fatalf("ns[%d] = %d after failed batch (partial results leaked)", i, n)
+		}
+	}
+}
+
+// The health facet steers traffic: with one replica reporting unhealthy,
+// steady-state reads stop paying a failed attempt on it — the sibling
+// absorbs the load and the unhealthy replica sees (almost) no calls.
+func TestReplicaPickSkipsUnhealthy(t *testing.T) {
+	e, _, flaky := replicaFixture(t, 2)
+	for id := range flaky {
+		flaky[id][0].failing.Store(true)
+		flaky[id][0].unhealthy.Store(true)
+	}
+	warm := flaky[0][0].calls.Load() + flaky[1][0].calls.Load()
+	r := rng.New(5)
+	out := make([]graph.NodeID, 4)
+	for id := 0; id < 64; id++ {
+		if _, err := e.TrySampleNeighborsInto(graph.NodeID(id%e.NumNodes()), out, r); err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+	}
+	paid := flaky[0][0].calls.Load() + flaky[1][0].calls.Load() - warm
+	if paid != 0 {
+		t.Fatalf("unhealthy replicas were called %d times despite the health skip", paid)
+	}
+}
+
+// Healthy replicas share the load: the rotation cursor spreads single
+// draws across the group instead of pinning everything on one replica.
+func TestReplicaRotationSpreadsLoad(t *testing.T) {
+	e, _, flaky := replicaFixture(t, 2)
+	r := rng.New(11)
+	out := make([]graph.NodeID, 4)
+	for id := 0; id < 100; id++ {
+		if _, err := e.TrySampleNeighborsInto(graph.NodeID(id%e.NumNodes()), out, r); err != nil {
+			t.Fatalf("node %d: %v", id, err)
+		}
+	}
+	for id := range flaky {
+		a, b := flaky[id][0].calls.Load(), flaky[id][1].calls.Load()
+		if a == 0 || b == 0 {
+			t.Fatalf("shard %d: load not spread (replica calls %d / %d)", id, a, b)
+		}
+	}
+}

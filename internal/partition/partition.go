@@ -98,6 +98,11 @@ type Routing struct {
 	// nil under Hash where routing is arithmetic.
 	owner []int32
 	local []int32
+	// placement[s] lists the advertised addresses of the servers serving
+	// shard s — the replica set (format version 3 onward). nil when the
+	// cluster does not advertise placement; an empty inner slice means
+	// "no known server" for that shard.
+	placement [][]string
 }
 
 // Partition is the result of splitting a graph: per-shard stores and the
@@ -226,6 +231,30 @@ func (r *Routing) Epoch() uint64 { return r.epoch }
 // carries changes.
 func (r *Routing) SetEpoch(e uint64) { r.epoch = e }
 
+// Placement returns the advertised server addresses of shard s's replica
+// set, or nil when the table carries no placement section. The returned
+// slice is shared, read-only.
+func (r *Routing) Placement(s int) []string {
+	if r.placement == nil || s < 0 || s >= len(r.placement) {
+		return nil
+	}
+	return r.placement[s]
+}
+
+// HasPlacement reports whether the table carries a placement section.
+func (r *Routing) HasPlacement() bool { return r.placement != nil }
+
+// SetPlacement installs a replica placement: addrs[s] lists the
+// advertised addresses of the servers serving shard s. It panics when
+// the outer length does not match the shard count; pass nil to drop the
+// section. The slice is retained, not copied.
+func (r *Routing) SetPlacement(addrs [][]string) {
+	if addrs != nil && len(addrs) != r.shards {
+		panic(fmt.Sprintf("partition: placement for %d shards on a %d-shard table", len(addrs), r.shards))
+	}
+	r.placement = addrs
+}
+
 // Owner returns the shard owning id: modular arithmetic under Hash, one
 // array read under DegreeBalanced. It performs no allocation.
 func (r *Routing) Owner(id graph.NodeID) int {
@@ -246,10 +275,18 @@ func (r *Routing) Local(id graph.NodeID) int32 {
 // The routing-table wire format: a magic header, then strategy, shard
 // count, node count, the ownership epoch (u64, format version 2 onward)
 // and a table-presence flag, then (when present) the owner and local
-// arrays. All integers little-endian; u32 unless noted.
+// arrays, then (format version 3 onward) a placement-presence flag
+// followed, when set, by one replica address list per shard. All
+// integers little-endian; u32 unless noted; strings are u32 length +
+// raw bytes.
 const (
 	routingMagic   = 0x5a4d5252 // "ZMRR"
-	routingVersion = 2          // version 1 lacked the epoch field
+	routingVersion = 3          // v1 lacked the epoch, v2 the placement
+
+	// maxReplicas and maxAddrLen bound a placement section so a corrupt
+	// header can't drive huge allocations.
+	maxReplicas = 64
+	maxAddrLen  = 256
 )
 
 // ErrRoutingVersion is returned by UnmarshalRouting for a blob whose
@@ -260,11 +297,12 @@ const (
 // papered over.
 var ErrRoutingVersion = errors.New("partition: unsupported routing table version")
 
-// MarshalBinary serializes the routing table (format version 2). Hash
-// tables are 32 bytes regardless of graph size; DegreeBalanced tables
-// carry 8 bytes per node on top.
+// MarshalBinary serializes the routing table (format version 3). Hash
+// tables without placement are 36 bytes regardless of graph size;
+// DegreeBalanced tables carry 8 bytes per node on top, and a placement
+// section the address bytes.
 func (r *Routing) MarshalBinary() ([]byte, error) {
-	size := 6*4 + 8
+	size := 7*4 + 8
 	if r.owner != nil {
 		size += 8 * r.numNodes
 	}
@@ -278,23 +316,36 @@ func (r *Routing) MarshalBinary() ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint64(buf, r.epoch)
 	if r.owner == nil {
 		put(0)
+	} else {
+		put(1)
+		for _, v := range r.owner {
+			put(uint32(v))
+		}
+		for _, v := range r.local {
+			put(uint32(v))
+		}
+	}
+	if r.placement == nil {
+		put(0)
 		return buf, nil
 	}
 	put(1)
-	for _, v := range r.owner {
-		put(uint32(v))
-	}
-	for _, v := range r.local {
-		put(uint32(v))
+	for _, g := range r.placement {
+		put(uint32(len(g)))
+		for _, addr := range g {
+			put(uint32(len(addr)))
+			buf = append(buf, addr...)
+		}
 	}
 	return buf, nil
 }
 
-// epochOffset is where the u64 epoch sits in a v2 blob: after the
-// magic, version, strategy, shards and numNodes u32 fields.
+// epochOffset is where the u64 epoch sits in a marshaled blob: after
+// the magic, version, strategy, shards and numNodes u32 fields (the
+// same position since format version 2).
 const epochOffset = 5 * 4
 
-// PatchEpoch rewrites the ownership epoch of a marshaled v2 routing
+// PatchEpoch rewrites the ownership epoch of a marshaled routing
 // blob in place — the epoch is the only field a live handoff changes,
 // and re-marshaling a degree-balanced table costs 8 bytes per node,
 // so shard servers stamp a copied blob instead. The blob must have been
@@ -368,32 +419,64 @@ func UnmarshalRouting(data []byte) (*Routing, error) {
 		return nil, err
 	}
 	r := &Routing{strategy: Strategy(strat), shards: int(shards), numNodes: int(numNodes), epoch: epoch}
-	if hasTable == 0 {
+	if hasTable != 0 {
+		// Check the payload actually carries the table before allocating
+		// numNodes-sized arrays from an attacker-controlled header.
+		if int64(len(data)-off) < 8*int64(numNodes) {
+			return nil, fmt.Errorf("partition: routing table truncated: %d bytes for %d nodes", len(data)-off, numNodes)
+		}
+		r.owner = make([]int32, numNodes)
+		r.local = make([]int32, numNodes)
+		for i := range r.owner {
+			v, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if v >= shards {
+				return nil, fmt.Errorf("partition: node %d routed to shard %d of %d", i, v, shards)
+			}
+			r.owner[i] = int32(v)
+		}
+		for i := range r.local {
+			v, err := get()
+			if err != nil {
+				return nil, err
+			}
+			r.local[i] = int32(v)
+		}
+	}
+	hasPlacement, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if hasPlacement == 0 {
 		return r, nil
 	}
-	// Check the payload actually carries the table before allocating
-	// numNodes-sized arrays from an attacker-controlled header.
-	if int64(len(data)-off) < 8*int64(numNodes) {
-		return nil, fmt.Errorf("partition: routing table truncated: %d bytes for %d nodes", len(data)-off, numNodes)
-	}
-	r.owner = make([]int32, numNodes)
-	r.local = make([]int32, numNodes)
-	for i := range r.owner {
-		v, err := get()
+	r.placement = make([][]string, shards)
+	for s := range r.placement {
+		count, err := get()
 		if err != nil {
 			return nil, err
 		}
-		if v >= shards {
-			return nil, fmt.Errorf("partition: node %d routed to shard %d of %d", i, v, shards)
+		if count > maxReplicas {
+			return nil, fmt.Errorf("partition: shard %d claims %d replicas (limit %d)", s, count, maxReplicas)
 		}
-		r.owner[i] = int32(v)
-	}
-	for i := range r.local {
-		v, err := get()
-		if err != nil {
-			return nil, err
+		g := make([]string, 0, count)
+		for i := uint32(0); i < count; i++ {
+			n, err := get()
+			if err != nil {
+				return nil, err
+			}
+			if n > maxAddrLen {
+				return nil, fmt.Errorf("partition: shard %d replica address of %d bytes (limit %d)", s, n, maxAddrLen)
+			}
+			if off+int(n) > len(data) {
+				return nil, fmt.Errorf("partition: truncated routing table at byte %d", off)
+			}
+			g = append(g, string(data[off:off+int(n)]))
+			off += int(n)
 		}
-		r.local[i] = int32(v)
+		r.placement[s] = g
 	}
 	return r, nil
 }

@@ -278,7 +278,7 @@ func TestRoutingVersionSkew(t *testing.T) {
 	if err != nil {
 		t.Fatalf("marshal: %v", err)
 	}
-	for _, skew := range []uint32{1, 3, 999} {
+	for _, skew := range []uint32{1, 2, 999} {
 		old := append([]byte(nil), blob...)
 		binary.LittleEndian.PutUint32(old[4:8], skew) // forge the version field
 		_, err := UnmarshalRouting(old)

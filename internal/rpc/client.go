@@ -3,6 +3,7 @@ package rpc
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"sort"
 	"sync"
@@ -20,8 +21,10 @@ import (
 // could not be reached, the connection died mid-call, or the client's
 // failure circuit is open and refused the call outright. Engine batch
 // errors wrap it, so callers check
-// errors.Is(err, rpc.ErrShardUnavailable) at any layer.
-var ErrShardUnavailable = errors.New("rpc: shard unavailable")
+// errors.Is(err, rpc.ErrShardUnavailable) at any layer. It aliases the
+// engine's sentinel so the engine can recognize a transport failure —
+// and fail over to a sibling replica — without importing this package.
+var ErrShardUnavailable = engine.ErrShardUnavailable
 
 // remoteError is an application-level failure the server answered with
 // (bad request, out-of-range node). The connection is healthy and the
@@ -41,6 +44,11 @@ func (e *remoteError) Error() string { return "rpc: server: " + e.msg }
 type movedError struct {
 	shard int
 	epoch uint64
+	// addrs is the redirecting server's member view (protocol v3): where
+	// the partition might have gone. The cluster feeds it into membership
+	// discovery so a redirect to a server the engine has never dialed
+	// still resolves.
+	addrs []string
 }
 
 func (e *movedError) Error() string {
@@ -134,6 +142,11 @@ type Client struct {
 	fails     int
 	probeDone chan struct{} // non-nil while a probe call is in flight
 	lastErr   time.Time
+
+	// onMoved, when set, receives the member address list carried by
+	// wrong-epoch redirects (protocol v3) — the cluster's membership
+	// discovery hook. Set before first use; called from decode paths.
+	onMoved func(addrs []string)
 }
 
 // NewClient returns a client for the shard server at addr with default
@@ -149,6 +162,22 @@ func NewClientWith(addr string, cfg ClientConfig) *Client {
 // SetTimeout overrides the per-call I/O and dial deadline (default
 // DefaultTimeout). Not concurrency-safe; set before first use.
 func (cl *Client) SetTimeout(d time.Duration) { cl.cfg.Timeout = d }
+
+// SetDiscover installs the membership-discovery hook: fn receives the
+// member address list carried by wrong-epoch redirects. Not
+// concurrency-safe; set before first use.
+func (cl *Client) SetDiscover(fn func(addrs []string)) { cl.onMoved = fn }
+
+// Healthy reports whether the failure circuit would admit a call right
+// now — false while the circuit is open (consecutive transport failures
+// at or over the threshold, with the decay window not yet elapsed). The
+// engine's replica picker uses it to steer reads away from a server
+// that is currently failing without ever blocking on it.
+func (cl *Client) Healthy() bool {
+	cl.hmu.Lock()
+	defer cl.hmu.Unlock()
+	return cl.fails < cl.cfg.FailThreshold || time.Since(cl.lastErr) > breakerDecay
+}
 
 // Addr returns the server address this client targets.
 func (cl *Client) Addr() string { return cl.addr }
@@ -264,7 +293,7 @@ func (cl *Client) conn() (*muxConn, error) {
 		return mc, nil
 	}
 	cl.mu.Unlock()
-	nc, err := dialMux(cl.addr, cl.cfg.Window, cl.cfg.Timeout)
+	nc, err := dialMux(cl.addr, cl.cfg.Window, cl.cfg.Timeout, cl.onMoved)
 	if err != nil {
 		return nil, err
 	}
@@ -752,24 +781,53 @@ func (cl *Client) Reassign(shard int, acquire bool) (uint64, error) {
 	return epoch, err
 }
 
-// RoutingEpoch polls the server's current routing epoch and the
-// partitions it serves — the cheap ownership read a client refreshes
-// from after a wrong-epoch redirect, without re-fetching the (possibly
-// node-sized) routing blob.
-func (cl *Client) RoutingEpoch() (uint64, []ShardInfo, error) {
+// RoutingEpoch polls the server's current routing epoch, the partitions
+// it serves and (protocol v3) its member view — the cheap ownership
+// read a client refreshes from after a wrong-epoch redirect, without
+// re-fetching the (possibly node-sized) routing blob.
+func (cl *Client) RoutingEpoch() (uint64, []ShardInfo, []string, error) {
 	var epoch uint64
 	var owned []ShardInfo
+	var members []string
 	err := cl.call(OpEpoch, nil, func(body []byte) error {
 		cu := cursor{b: body}
 		epoch = cu.u64()
 		var derr error
 		owned, derr = decodeOwned(&cu, 1<<20)
-		return derr
+		if derr != nil {
+			return derr
+		}
+		if len(cu.rest()) > 0 { // v3 servers append their member view
+			members = decodeAddrList(&cu)
+		}
+		return cu.err()
 	})
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	return epoch, owned, nil
+	return epoch, owned, members, nil
+}
+
+// Members runs the membership exchange (protocol v3): announce, when
+// non-empty, registers the caller's advertised address with the server;
+// the response lists every server address the server knows, announce
+// included. A serving-tier client polls with an empty announce.
+func (cl *Client) Members(announce string) ([]string, error) {
+	var members []string
+	err := cl.call(OpMembers,
+		func(b []byte) []byte {
+			b = appendU32(b, uint32(len(announce)))
+			return append(b, announce...)
+		},
+		func(body []byte) error {
+			cu := cursor{b: body}
+			members = decodeAddrList(&cu)
+			return cu.err()
+		})
+	if err != nil {
+		return nil, err
+	}
+	return members, nil
 }
 
 // RemoteShard is the client-side stub for one partition served by a
@@ -788,9 +846,10 @@ type RemoteShard struct {
 // shard, and advertises the async seam the parallel scatter-gather path
 // prefers.
 var (
-	_ engine.ShardBackend = (*RemoteShard)(nil)
-	_ engine.BackendStats = (*RemoteShard)(nil)
-	_ engine.BatchStarter = (*RemoteShard)(nil)
+	_ engine.ShardBackend   = (*RemoteShard)(nil)
+	_ engine.BackendStats   = (*RemoteShard)(nil)
+	_ engine.BatchStarter   = (*RemoteShard)(nil)
+	_ engine.HealthReporter = (*RemoteShard)(nil)
 )
 
 // NewRemoteShard returns a stub for partition shard behind cl. nodes and
@@ -807,6 +866,11 @@ func (rs *RemoteShard) Requests() int64 { return rs.requests.Load() }
 
 // ShardSize reports the partition size from the server handshake.
 func (rs *RemoteShard) ShardSize() (nodes, edges int) { return rs.nodes, rs.edges }
+
+// Healthy reports whether the underlying client's failure circuit would
+// admit a call right now (engine.HealthReporter) — the engine's replica
+// picker steers reads away from an unhealthy stub.
+func (rs *RemoteShard) Healthy() bool { return rs.cl.Healthy() }
 
 // SampleInto draws len(out) weighted neighbors of id shard-side,
 // consuming r's stream exactly as an in-process shard would: the state
@@ -921,26 +985,47 @@ func (rs *RemoteShard) ContentOf(id graph.NodeID) (tensor.Vec, error) {
 	return v, nil
 }
 
+// Logf is where the cluster logs skipped servers and rejected member
+// addresses during a refresh. Replace it to route into a structured
+// logger; it must be safe for concurrent use.
+var Logf = log.Printf
+
+// defaultPollTimeout bounds each server's ownership poll inside Refresh
+// independently of the per-call Timeout, so one stalled server delays
+// the whole refresh by at most this much.
+const defaultPollTimeout = 2 * time.Second
+
 // Cluster is a set of shard-server clients assembled into a remote
 // Engine: the routing table is fetched from the first server, every
-// partition is bound to the stub of the server owning it, and the
-// resulting Engine routes exactly as an in-process one.
+// partition is bound to the stubs of the servers claiming it (its
+// replica group), and the resulting Engine routes exactly as an
+// in-process one — fanning reads across the group and failing over when
+// a replica dies.
 //
 // The binding is live: the Engine is assembled with a RefreshFunc that
 // calls Refresh, so when a shard server drains a partition (a planned
-// handoff driven by the reassign op) the first redirected call
-// re-resolves ownership across the cluster's servers and the engine
-// retries against the new owner — no restart, no error surfaced to
-// callers. Ownership may move only between the servers the cluster was
-// dialed with.
+// handoff driven by the reassign op) or a replica dies, the first
+// redirected or failed-over call re-resolves ownership across the
+// cluster's servers and the engine retries — no restart, no error
+// surfaced to callers. Membership is dynamic: servers discovered
+// through redirect address lists, epoch-poll member views and routing
+// placement are validated and adopted on the next refresh, so ownership
+// may move to — and replicas may appear on — servers that joined after
+// the cluster was dialed.
 type Cluster struct {
-	Engine  *engine.Engine
-	Info    Info // shape handshake from the first server
-	clients []*Client
+	Engine *engine.Engine
+	Info   Info // shape handshake from the first server
 
-	mu        sync.Mutex
-	stubs     map[stubKey]*RemoteShard // reused across refreshes to keep counters
-	refreshMu sync.Mutex               // serializes poll→install so a stale view never overwrites a fresher one
+	cfg         ClientConfig
+	pollTimeout time.Duration // per-server Refresh poll bound (defaultPollTimeout)
+
+	mu      sync.Mutex
+	clients []*Client
+	byAddr  map[string]int           // dialed address → clients index
+	pending map[string]struct{}      // discovered addresses awaiting validation
+	stubs   map[stubKey]*RemoteShard // reused across refreshes to keep counters
+
+	refreshMu sync.Mutex // serializes poll→install so a stale view never overwrites a fresher one
 }
 
 // stubKey identifies one (server, partition) stub.
@@ -961,39 +1046,176 @@ func (c *Cluster) stub(server int, sh ShardInfo) *RemoteShard {
 	return rs
 }
 
-// Refresh re-resolves which server owns each partition by polling every
-// client's routing epoch, and installs the new binding into the engine.
-// A server that cannot be reached keeps nothing bound: its partitions go
-// to the first reachable claimant, and a partition nobody currently
-// claims keeps its existing binding (a server mid-restart will either
-// come back owning it or the next redirect will refresh again). The
-// engine single-flights calls here through its RefreshFunc seam; calling
-// it directly (e.g. on an operator's schedule) is also safe — refreshes
+// noteMembers records discovered server addresses for validation on the
+// next refresh. Safe for concurrent use; it is the discovery hook every
+// cluster client feeds redirect address lists into.
+func (c *Cluster) noteMembers(addrs []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, a := range addrs {
+		if a == "" || len(a) > 256 || len(c.pending)+len(c.clients) >= maxMembers {
+			continue
+		}
+		if _, ok := c.byAddr[a]; ok {
+			continue
+		}
+		c.pending[a] = struct{}{}
+	}
+}
+
+// addClient installs a validated server address as a full cluster
+// member and returns its client index.
+func (c *Cluster) addClient(addr string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.byAddr[addr]; ok {
+		return i
+	}
+	cl := NewClientWith(addr, c.cfg)
+	cl.SetDiscover(c.noteMembers)
+	c.clients = append(c.clients, cl)
+	c.byAddr[addr] = len(c.clients) - 1
+	return len(c.clients) - 1
+}
+
+// snapshotClients returns the current client list (append-only, so the
+// prefix stays valid) for a lock-free poll loop.
+func (c *Cluster) snapshotClients() []*Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clients[:len(c.clients):len(c.clients)]
+}
+
+// adoptPending validates every noted address with a short-deadline
+// probe — reachability plus the graph-shape handshake — and adopts the
+// ones that check out. Unreachable or mismatched addresses are logged
+// and dropped (a redirect naming a bogus server must not poison the
+// cluster); they re-enter pending if discovered again.
+func (c *Cluster) adoptPending() {
+	c.mu.Lock()
+	if len(c.pending) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	pend := make([]string, 0, len(c.pending))
+	for a := range c.pending {
+		pend = append(pend, a)
+	}
+	c.pending = make(map[string]struct{})
+	c.mu.Unlock()
+	sort.Strings(pend) // deterministic adoption → deterministic client order
+	for _, addr := range pend {
+		probe := NewClientWith(addr, ClientConfig{Conns: 1, Timeout: c.pollTimeout})
+		info, err := probe.Info()
+		probe.Close()
+		if err != nil {
+			Logf("rpc: cluster: dropping discovered member %s: %v", addr, err)
+			continue
+		}
+		if info.NumShards != c.Info.NumShards || info.NumNodes != c.Info.NumNodes ||
+			info.Strategy != c.Info.Strategy || info.ContentDim != c.Info.ContentDim {
+			Logf("rpc: cluster: dropping discovered member %s: serves a different graph (%d/%d shards, %d/%d nodes)",
+				addr, info.NumShards, c.Info.NumShards, info.NumNodes, c.Info.NumNodes)
+			continue
+		}
+		c.addClient(addr)
+	}
+}
+
+// pollRes is one server's ownership-poll outcome.
+type pollRes struct {
+	owned   []ShardInfo
+	members []string
+	err     error
+}
+
+// pollServers polls every client's routing epoch concurrently, each
+// bounded by pollTimeout independently of the call Timeout: one dead or
+// stalled server costs the refresh at most pollTimeout, never a hang.
+// A timed-out slot reports the timeout; its goroutine finishes (and is
+// discarded) in the background, writing only its private channel.
+func (c *Cluster) pollServers(clients []*Client) []pollRes {
+	results := make([]pollRes, len(clients))
+	type landed struct {
+		idx int
+		res pollRes
+	}
+	ch := make(chan landed, len(clients))
+	for si, cl := range clients {
+		go func(si int, cl *Client) {
+			var r pollRes
+			_, r.owned, r.members, r.err = cl.RoutingEpoch()
+			ch <- landed{idx: si, res: r}
+		}(si, cl)
+	}
+	timer := time.NewTimer(c.pollTimeout)
+	defer timer.Stop()
+	got := 0
+	for got < len(clients) {
+		select {
+		case l := <-ch:
+			results[l.idx] = l.res
+			got++
+		case <-timer.C:
+			for si := range results {
+				if results[si].owned == nil && results[si].err == nil {
+					results[si].err = fmt.Errorf("%w: %s: ownership poll timed out after %v",
+						ErrShardUnavailable, clients[si].Addr(), c.pollTimeout)
+				}
+			}
+			return results
+		}
+	}
+	return results
+}
+
+// Refresh re-resolves which servers own each partition by polling every
+// client's routing epoch, and installs the new replica binding into the
+// engine. Every reachable claimant of a partition joins its replica
+// group (client order, so the first claimant stays the deterministic
+// primary); a server that cannot be reached — or times out, bounded
+// per-server — keeps nothing bound, is logged and skipped. A partition
+// nobody currently claims keeps its existing binding (a server
+// mid-restart will either come back owning it or the next redirect will
+// refresh again). Member views collected during the poll feed dynamic
+// membership: newly discovered servers are validated, adopted and
+// polled within the same refresh, so a redirect to a server the engine
+// has never dialed still resolves in one refresh cycle. The engine
+// single-flights calls here through its RefreshFunc seam; calling it
+// directly (e.g. on an operator's schedule) is also safe — refreshes
 // serialize, so an install always reflects a poll at least as recent as
 // the one it replaces.
 func (c *Cluster) Refresh() error {
 	c.refreshMu.Lock()
 	defer c.refreshMu.Unlock()
 	nshards := c.Info.NumShards
-	// Poll every server concurrently: with one server down, the refresh
-	// stalls for one call timeout, not one per server — and every caller
-	// queued on the engine's refresh single-flight is released together.
-	type poll struct {
-		owned []ShardInfo
-		err   error
+
+	// Bounded discover→poll rounds: a poll can surface new members whose
+	// ownership matters for this very refresh (the partition moved to a
+	// server we had never dialed), so adoption loops until the member set
+	// is stable — at most three rounds, then we bind what we have.
+	var clients []*Client
+	var polls []pollRes
+	for round := 0; ; round++ {
+		c.adoptPending()
+		clients = c.snapshotClients()
+		polls = c.pollServers(clients)
+		for si := range polls {
+			if polls[si].err == nil {
+				c.noteMembers(polls[si].members)
+			}
+		}
+		c.mu.Lock()
+		stable := len(c.pending) == 0
+		c.mu.Unlock()
+		if stable || round >= 2 {
+			break
+		}
 	}
-	polls := make([]poll, len(c.clients))
-	var wg sync.WaitGroup
-	for si, cl := range c.clients {
-		wg.Add(1)
-		go func(p *poll, cl *Client) {
-			defer wg.Done()
-			_, p.owned, p.err = cl.RoutingEpoch()
-		}(&polls[si], cl)
-	}
-	wg.Wait()
-	// Bind in address order so "first claimant wins" stays deterministic.
-	backends := make([]engine.ShardBackend, nshards)
+
+	// Bind every reachable claimant, in client order so the primary
+	// (groups[id][0]) stays deterministic.
+	groups := make([][]engine.ShardBackend, nshards)
 	var firstErr error
 	reached := 0
 	for si := range polls {
@@ -1001,27 +1223,26 @@ func (c *Cluster) Refresh() error {
 			if firstErr == nil {
 				firstErr = err
 			}
+			Logf("rpc: cluster: refresh skipping %s: %v", clients[si].Addr(), err)
 			continue
 		}
 		reached++
 		for _, sh := range polls[si].owned {
 			if sh.ID < 0 || sh.ID >= nshards {
-				return fmt.Errorf("rpc: %s claims shard %d of %d", c.clients[si].Addr(), sh.ID, nshards)
+				return fmt.Errorf("rpc: %s claims shard %d of %d", clients[si].Addr(), sh.ID, nshards)
 			}
-			if backends[sh.ID] == nil {
-				backends[sh.ID] = c.stub(si, sh)
-			}
+			groups[sh.ID] = append(groups[sh.ID], c.stub(si, sh))
 		}
 	}
 	if reached == 0 {
 		return fmt.Errorf("rpc: routing refresh: no shard server reachable: %w", firstErr)
 	}
-	for id := range backends {
-		if backends[id] == nil {
-			backends[id] = c.Engine.Backend(id)
+	for id := range groups {
+		if groups[id] == nil {
+			groups[id] = c.Engine.ReplicaSet(id)
 		}
 	}
-	c.Engine.InstallBackends(backends)
+	c.Engine.InstallReplicaSets(groups)
 	return nil
 }
 
@@ -1032,24 +1253,33 @@ func DialCluster(addrs ...string) (*Cluster, error) {
 }
 
 // DialClusterWith is DialCluster with explicit per-server pool bounds.
-// Every partition must be owned by exactly one reachable server (the
-// first claimant wins when servers overlap); a partition no server owns
-// is an error. The assembled engine re-resolves ownership automatically
-// when a partition later moves between these servers (see Cluster).
+// Every partition must be owned by at least one reachable server; every
+// claimant joins the partition's replica group (dial order, so the
+// first claimant is the primary). The assembled engine re-resolves
+// ownership automatically when a partition later moves — including to
+// servers that joined the cluster after this call (see Cluster).
 func DialClusterWith(cfg ClientConfig, addrs ...string) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("rpc: no shard server addresses")
 	}
-	cluster := &Cluster{stubs: make(map[stubKey]*RemoteShard)}
+	cluster := &Cluster{
+		cfg:         cfg,
+		pollTimeout: defaultPollTimeout,
+		byAddr:      make(map[string]int),
+		pending:     make(map[string]struct{}),
+		stubs:       make(map[stubKey]*RemoteShard),
+	}
 	fail := func(err error) (*Cluster, error) {
 		cluster.Close()
 		return nil, err
 	}
-	var backends []engine.ShardBackend
+	var groups [][]engine.ShardBackend
 	var routing *partition.Routing
 	for i, addr := range addrs {
 		cl := NewClientWith(addr, cfg)
+		cl.SetDiscover(cluster.noteMembers)
 		cluster.clients = append(cluster.clients, cl)
+		cluster.byAddr[addr] = i
 		info, err := cl.Info()
 		if err != nil {
 			return fail(fmt.Errorf("rpc: handshake with %s: %w", addr, err))
@@ -1060,30 +1290,41 @@ func DialClusterWith(cfg ClientConfig, addrs ...string) (*Cluster, error) {
 			if err != nil {
 				return fail(fmt.Errorf("rpc: routing from %s: %w", addr, err))
 			}
-			backends = make([]engine.ShardBackend, info.NumShards)
+			groups = make([][]engine.ShardBackend, info.NumShards)
+			// A v3 routing blob may carry replica placement: advertised
+			// addresses of the servers serving each shard. Note them for
+			// discovery — addresses we were not dialed with are validated
+			// and adopted on the first refresh.
+			if routing.HasPlacement() {
+				for sh := 0; sh < info.NumShards; sh++ {
+					cluster.noteMembers(routing.Placement(sh))
+				}
+			}
 		} else if info.NumShards != cluster.Info.NumShards || info.NumNodes != cluster.Info.NumNodes ||
 			info.Strategy != cluster.Info.Strategy || info.ContentDim != cluster.Info.ContentDim {
 			return fail(fmt.Errorf("rpc: %s serves a different graph (%d/%d shards, %d/%d nodes)",
 				addr, info.NumShards, cluster.Info.NumShards, info.NumNodes, cluster.Info.NumNodes))
 		}
 		for _, sh := range info.Owned {
-			if sh.ID < 0 || sh.ID >= len(backends) {
-				return fail(fmt.Errorf("rpc: %s claims shard %d of %d", addr, sh.ID, len(backends)))
+			if sh.ID < 0 || sh.ID >= len(groups) {
+				return fail(fmt.Errorf("rpc: %s claims shard %d of %d", addr, sh.ID, len(groups)))
 			}
-			if backends[sh.ID] == nil {
-				backends[sh.ID] = cluster.stub(i, sh)
-			}
+			groups[sh.ID] = append(groups[sh.ID], cluster.stub(i, sh))
 		}
 	}
-	for id, be := range backends {
-		if be == nil {
+	for id, g := range groups {
+		if len(g) == 0 {
 			return fail(fmt.Errorf("rpc: no server owns shard %d", id))
 		}
 	}
-	cluster.Engine = engine.NewWithBackends(routing, backends, cluster.Info.ContentDim)
+	cluster.Engine = engine.NewWithReplicaSets(routing, groups, cluster.Info.ContentDim)
 	cluster.Engine.SetRefresh(cluster.Refresh)
 	return cluster, nil
 }
+
+// SetPollTimeout overrides the per-server ownership-poll bound used by
+// Refresh (default 2s). Not concurrency-safe; set before first use.
+func (c *Cluster) SetPollTimeout(d time.Duration) { c.pollTimeout = d }
 
 // Close shuts down the remote engine's fan-out workers and closes every
 // client in the cluster.
@@ -1091,7 +1332,7 @@ func (c *Cluster) Close() error {
 	if c.Engine != nil {
 		c.Engine.Close()
 	}
-	for _, cl := range c.clients {
+	for _, cl := range c.snapshotClients() {
 		cl.Close()
 	}
 	return nil

@@ -217,7 +217,7 @@ func TestDrainedShardRedirectsTyped(t *testing.T) {
 	if epoch, err := cl.Reassign(1, true); err != nil || epoch != 2 {
 		t.Fatalf("remote acquire: epoch %d, err %v", epoch, err)
 	}
-	if epoch, owned, err := cl.RoutingEpoch(); err != nil || epoch != 2 || len(owned) != 2 {
+	if epoch, owned, _, err := cl.RoutingEpoch(); err != nil || epoch != 2 || len(owned) != 2 {
 		t.Fatalf("routing-epoch poll: epoch %d, %d owned, err %v", epoch, len(owned), err)
 	}
 	if n, err := rs.SampleBatchInto([]graph.NodeID{onShard1}, []int32{0}, 9, 4, out, ns); err != nil || n != 4 {

@@ -34,6 +34,7 @@ type muxConn struct {
 	c       net.Conn
 	br      *bufio.Reader // buffered view of c, owned by the lease holder
 	timeout time.Duration
+	onMoved func(addrs []string) // membership hook for redirect addresses; may be nil
 
 	slots []muxSlot
 	free  *slotStack    // indices of slots not in flight (LIFO)
@@ -67,8 +68,9 @@ type muxSlot struct {
 var errMuxTimeout = errors.New("rpc: request timed out")
 
 // dialMux dials addr, performs the preface exchange and starts the
-// reader. window bounds the in-flight requests on this connection.
-func dialMux(addr string, window int, timeout time.Duration) (*muxConn, error) {
+// reader. window bounds the in-flight requests on this connection;
+// onMoved (may be nil) receives redirect-carried member addresses.
+func dialMux(addr string, window int, timeout time.Duration, onMoved func([]string)) (*muxConn, error) {
 	c, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
@@ -100,7 +102,8 @@ func dialMux(addr string, window int, timeout time.Duration) (*muxConn, error) {
 	// often several pipelined ones — instead of paying a syscall each for
 	// header and body.
 	mc := &muxConn{c: c, br: bufio.NewReaderSize(c, readBufSize), timeout: timeout,
-		slots: make([]muxSlot, window), free: newSlotStack(window),
+		onMoved: onMoved,
+		slots:   make([]muxSlot, window), free: newSlotStack(window),
 		lease: make(chan struct{}, 1)}
 	for i := range mc.slots {
 		mc.slots[i].idx = int32(i)
@@ -386,11 +389,19 @@ func (mc *muxConn) finish(sl *muxSlot) ([]byte, error) {
 		cu := cursor{b: body[1:]}
 		epoch := cu.u64()
 		shard := int(cu.u32())
+		var addrs []string
+		if !cu.bad && len(cu.rest()) > 0 { // v3 servers append their member view
+			addrs = decodeAddrList(&cu)
+		}
+		bad := cu.bad
 		mc.release(sl)
-		if cu.bad {
+		if bad {
 			return nil, &remoteError{msg: "malformed shard-moved redirect"}
 		}
-		return nil, &movedError{shard: shard, epoch: epoch}
+		if mc.onMoved != nil && len(addrs) > 0 {
+			mc.onMoved(addrs)
+		}
+		return nil, &movedError{shard: shard, epoch: epoch, addrs: addrs}
 	}
 	return body[1:], nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,13 @@ type ServerConfig struct {
 	Strategy partition.Strategy // node-to-shard assignment
 	Owned    []int              // shard ids served at start (nil = all); handoffs move them later
 	Replicas int                // replicas per owned shard (initial and acquired alike)
+
+	// Advertise is the address other cluster members and serving-tier
+	// clients should reach this server at. When set, the server joins the
+	// membership registry (its routing blobs carry a placement section,
+	// redirects and epoch polls carry the member list); when empty the
+	// server is invisible to dynamic discovery, exactly as before.
+	Advertise string
 
 	// ConnWorkers bounds the concurrent request dispatch per connection
 	// (default 4): a multiplexing client pipelines many requests onto one
@@ -70,7 +78,11 @@ type Server struct {
 	workers     int
 	window      int
 	replicas    int
+	advertise   string
 	ownMu       sync.Mutex // serializes ownership transitions
+
+	memMu   sync.Mutex // membership registry: advertised addresses of known servers
+	members map[string]struct{}
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -139,7 +151,12 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 		workers:    cfg.ConnWorkers,
 		window:     cfg.ConnWindow,
 		replicas:   cfg.Replicas,
+		advertise:  cfg.Advertise,
 		conns:      make(map[net.Conn]struct{}),
+		members:    make(map[string]struct{}),
+	}
+	if cfg.Advertise != "" {
+		s.members[cfg.Advertise] = struct{}{}
 	}
 	shards := make(map[int]*engine.Shard, len(owned))
 	for _, id := range owned {
@@ -155,8 +172,31 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 // newOwnership stamps a served-store set with its epoch and the matching
 // routing blob: a copy of the once-marshaled table with just the epoch
 // field patched, so a reassignment of a large degree-balanced graph
-// does not re-encode 8 bytes per node under the ownership lock.
+// does not re-encode 8 bytes per node under the ownership lock. An
+// advertising server re-marshals instead: its blob carries a placement
+// section mapping each owned shard to the advertised address, and that
+// section changes with ownership (transitions are rare; the re-encode
+// happens at most once per reassignment).
 func (s *Server) newOwnership(epoch uint64, shards map[int]*engine.Shard) *ownership {
+	if s.advertise != "" {
+		placement := make([][]string, s.part.NumShards())
+		for id := range placement {
+			if shards[id] != nil {
+				placement[id] = []string{s.advertise}
+			}
+		}
+		// Safe to mutate the shared table here: transitions serialize
+		// under ownMu (or run before Start), and concurrent request
+		// handlers read only the immutable owner/local arrays.
+		rt := s.part.RoutingTable()
+		rt.SetPlacement(placement)
+		rt.SetEpoch(epoch)
+		blob, err := rt.MarshalBinary()
+		if err != nil {
+			panic(fmt.Sprintf("rpc: marshal routing: %v", err))
+		}
+		return &ownership{epoch: epoch, shards: shards, routing: blob}
+	}
 	if s.routingBase == nil {
 		blob, err := s.part.RoutingTable().MarshalBinary()
 		if err != nil {
@@ -308,6 +348,59 @@ func (s *Server) OpCount(op Op) int64 {
 		return 0
 	}
 	return s.opCounts[op].Load()
+}
+
+// Advertise returns the address this server announces itself at ("" for
+// a non-advertising server).
+func (s *Server) Advertise() string { return s.advertise }
+
+// Members returns the advertised addresses of every server this one
+// knows — itself included when it advertises — sorted for deterministic
+// wire encoding.
+func (s *Server) Members() []string {
+	s.memMu.Lock()
+	out := make([]string, 0, len(s.members))
+	for a := range s.members {
+		out = append(out, a)
+	}
+	s.memMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// AddMembers merges advertised addresses into the membership registry.
+// Empty and over-long addresses are dropped; the registry is bounded at
+// maxMembers, beyond which new addresses are ignored (a registry that
+// large signals an announce storm, not a cluster).
+func (s *Server) AddMembers(addrs ...string) {
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	for _, a := range addrs {
+		if a == "" || len(a) > 256 || len(s.members) >= maxMembers {
+			continue
+		}
+		s.members[a] = struct{}{}
+	}
+}
+
+// AnnounceTo registers this server with a peer over the members op and
+// merges the peer's member view back — how a server joining a running
+// cluster becomes discoverable: announce to any live member, and every
+// client refreshing from (or redirected by) that member learns the new
+// address. timeout bounds the exchange; 0 means DefaultTimeout.
+func (s *Server) AnnounceTo(peer string, timeout time.Duration) error {
+	if s.advertise == "" {
+		return errors.New("rpc: AnnounceTo on a server without an advertise address")
+	}
+	cl := NewClientWith(peer, ClientConfig{Conns: 1, Timeout: timeout})
+	defer cl.Close()
+	theirs, err := cl.Members(s.advertise)
+	if err != nil {
+		return fmt.Errorf("rpc: announce to %s: %w", peer, err)
+	}
+	s.AddMembers(peer)
+	s.AddMembers(theirs...)
+	return nil
 }
 
 // OwnedShards returns the shard ids this server currently serves, in
@@ -465,9 +558,13 @@ func (s *Server) serve(c net.Conn, sl *reqSlot, sc *serverConn, wmu *sync.Mutex)
 	if err != nil {
 		var mv *errShardMoved
 		if errors.As(err, &mv) {
+			// The redirect carries the member view (protocol v3): the
+			// partition went *somewhere*, and these addresses are where a
+			// redirected client should look.
 			b := sc.begin(statusMoved)
 			b = appendU64(b, mv.epoch)
-			resp = appendU32(b, uint32(mv.shard))
+			b = appendU32(b, uint32(mv.shard))
+			resp = appendAddrList(b, s.Members())
 		} else {
 			resp = append(sc.begin(statusErr), err.Error()...)
 		}
@@ -520,6 +617,8 @@ func (s *Server) dispatch(op Op, payload []byte, sc *serverConn) ([]byte, error)
 		return s.handleReassign(payload, sc)
 	case OpEpoch:
 		return s.handleEpoch(sc), nil
+	case OpMembers:
+		return s.handleMembers(payload, sc)
 	default:
 		return nil, fmt.Errorf("rpc: unknown op %d", byte(op))
 	}
@@ -576,13 +675,29 @@ func (s *Server) handleReassign(payload []byte, sc *serverConn) ([]byte, error) 
 }
 
 // handleEpoch answers the ownership poll: current epoch plus the served
-// partitions, enough for a client to rebind moved shards without
-// re-fetching the routing blob.
+// partitions — enough for a client to rebind moved shards without
+// re-fetching the routing blob — and (protocol v3) the member view, so
+// every poll doubles as membership discovery.
 func (s *Server) handleEpoch(sc *serverConn) []byte {
 	o := s.own.Load()
 	b := sc.begin(statusOK)
 	b = appendU64(b, o.epoch)
-	return s.appendOwned(b, o)
+	b = s.appendOwned(b, o)
+	return appendAddrList(b, s.Members())
+}
+
+// handleMembers runs the membership exchange: a non-empty announce joins
+// the registry, and the response is the current member view.
+func (s *Server) handleMembers(payload []byte, sc *serverConn) ([]byte, error) {
+	cu := cursor{b: payload}
+	announce := cu.str()
+	if err := cu.err(); err != nil {
+		return nil, err
+	}
+	if announce != "" {
+		s.AddMembers(announce)
+	}
+	return appendAddrList(sc.begin(statusOK), s.Members()), nil
 }
 
 func (s *Server) handleSample(o *ownership, payload []byte, sc *serverConn) ([]byte, error) {

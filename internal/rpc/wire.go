@@ -55,7 +55,10 @@ import (
 // a pre-preface server fails the handshake instead of hanging.
 const (
 	// ProtocolVersion is the wire protocol version this build speaks.
-	ProtocolVersion = 2
+	// Version 3 added the members op, the member list in routing-epoch
+	// responses and the member addresses in wrong-epoch redirects; the
+	// framing is unchanged from version 2.
+	ProtocolVersion = 3
 	prefaceLen      = 8
 )
 
@@ -95,6 +98,12 @@ const (
 	OpContent
 	OpReassign
 	OpEpoch
+	// OpMembers is the membership exchange (protocol v3): the request
+	// optionally announces the caller's advertised address, the response
+	// lists every server address this server knows. Servers announce to
+	// each other with it; clients poll it to discover servers that joined
+	// after dial.
+	OpMembers
 	numOps
 )
 
@@ -119,6 +128,8 @@ func (o Op) String() string {
 		return "reassign"
 	case OpEpoch:
 		return "routing-epoch"
+	case OpMembers:
+		return "members"
 	default:
 		return fmt.Sprintf("op(%d)", byte(o))
 	}
@@ -140,9 +151,12 @@ const (
 	statusErr = 1
 	// statusMoved is the wrong-epoch redirect: the target partition is
 	// not (or no longer) owned by this server. The payload is the
-	// server's current routing epoch (u64) and the shard id (u32); the
-	// client surfaces it as engine.ErrWrongEpoch, which triggers the
-	// engine's one-shot ownership refresh and retry.
+	// server's current routing epoch (u64), the shard id (u32) and —
+	// protocol v3 onward — the server's member address list, so a
+	// redirected client learns where the partition might have gone
+	// without a separate round trip. The client surfaces the redirect as
+	// engine.ErrWrongEpoch, which triggers the engine's one-shot
+	// ownership refresh and retry.
 	statusMoved = 2
 
 	// maxFrame bounds a frame body; anything larger is a protocol error,
@@ -245,6 +259,18 @@ func (cu *cursor) rest() []byte {
 	return cu.b[cu.off:]
 }
 
+// str decodes a length-prefixed string (u32 length + raw bytes).
+func (cu *cursor) str() string {
+	n := cu.u32()
+	if cu.bad || cu.off+int(n) > len(cu.b) {
+		cu.bad = true
+		return ""
+	}
+	s := string(cu.b[cu.off : cu.off+int(n)])
+	cu.off += int(n)
+	return s
+}
+
 func (cu *cursor) err() error {
 	if cu.bad {
 		return fmt.Errorf("rpc: truncated frame (%d bytes)", len(cu.b))
@@ -254,3 +280,41 @@ func (cu *cursor) err() error {
 
 func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
 func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// maxMembers bounds a member address list on the wire; a list larger
+// than any plausible cluster is a protocol error, not a membership view.
+const maxMembers = 1024
+
+// appendAddrList encodes a member address list: u32 count, then each
+// address as u32 length + raw bytes.
+func appendAddrList(b []byte, addrs []string) []byte {
+	b = appendU32(b, uint32(len(addrs)))
+	for _, a := range addrs {
+		b = appendU32(b, uint32(len(a)))
+		b = append(b, a...)
+	}
+	return b
+}
+
+// decodeAddrList decodes a member address list written by
+// appendAddrList, latching the cursor's bad flag on implausible shapes.
+func decodeAddrList(cu *cursor) []string {
+	count := cu.u32()
+	if cu.bad || count > maxMembers {
+		cu.bad = true
+		return nil
+	}
+	if count == 0 {
+		return nil
+	}
+	addrs := make([]string, 0, count)
+	for i := uint32(0); i < count; i++ {
+		a := cu.str()
+		if cu.bad || len(a) > 256 {
+			cu.bad = true
+			return nil
+		}
+		addrs = append(addrs, a)
+	}
+	return addrs
+}
