@@ -1,16 +1,24 @@
 # Tier-1 verification and perf tooling for the Zoomer reproduction.
 
-.PHONY: verify test race chaos bench bench-compare docs-check ci
+.PHONY: verify verify-purego test race chaos bench bench-compare docs-check ci
 
-# The full CI gate: tier-1 verify, race hammer, fault-injection suite,
-# perf regression check, documentation link check.
-ci: verify race chaos bench-compare docs-check
+# The full CI gate: tier-1 verify (both kernel dispatches), race hammer,
+# fault-injection suite, perf regression check, documentation link check.
+ci: verify verify-purego race chaos bench-compare docs-check
 
-# The tier-1 loop: vet + build + test.
+# The tier-1 loop: vet + build + test. vet's asmdecl check covers the
+# AVX2 kernel frames in internal/tensor.
 verify:
 	go vet ./...
 	go build ./...
 	go test ./...
+
+# The same loop with the assembly kernels compiled out — proves the
+# pure-Go reference path stays healthy on non-amd64 targets.
+verify-purego:
+	go vet -tags purego ./...
+	go build -tags purego ./...
+	go test -tags purego ./...
 
 test:
 	go test ./...

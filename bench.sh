@@ -18,6 +18,12 @@ export GOMAXPROCS="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
 echo "== go vet ./... (tier-1 gate)" >&2
 go vet ./...
 
+# Which dense-kernel dispatch this machine runs (avx2 | purego) — the
+# header names it so trajectories from different kernel sets are never
+# compared blindly.
+SIMD="$(go run ./cmd/simdprobe)"
+echo "== simd dispatch: $SIMD" >&2
+
 echo "== hot-path benchmarks" >&2
 go test -run '^$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | tee -a "$TMP" >&2
 # BenchmarkSampleNeighbors also matches the Parallel (multi-core
@@ -25,7 +31,10 @@ go test -run '^$' -bench 'BenchmarkHotPath' -benchmem -count 1 . | tee -a "$TMP"
 go test -run '^$' -bench 'BenchmarkSampleNeighbors|BenchmarkSampleTree' -benchmem -count 1 ./internal/engine/ | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkFocalBiased|BenchmarkBuildTree' -benchmem -count 1 ./internal/sampling/ | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkServingEmbedding|BenchmarkEndToEndRequest|BenchmarkCacheRefresh' -benchmem -count 1 ./internal/serve/ | tee -a "$TMP" >&2
-go test -run '^$' -bench 'BenchmarkSearchInto' -benchmem -count 1 ./internal/ann/ | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkSearchInto|BenchmarkQuantizedScan|BenchmarkFullPrecisionScan' -benchmem -count 1 ./internal/ann/ | tee -a "$TMP" >&2
+# Dense kernels behind the dispatch seam: the dispatched and generic
+# variants side by side quantify the SIMD win at serving dims.
+go test -run '^$' -bench 'BenchmarkDot|BenchmarkMatVec|BenchmarkAxpy' -benchmem -count 1 ./internal/tensor/ | tee -a "$TMP" >&2
 # Remote graph store: loopback TCP round trip, scatter-gather batch
 # (serial + concurrent callers on the shared multiplexed pool) and the
 # multi-shard remote tree.
@@ -41,8 +50,8 @@ go test -run '^$' -bench 'BenchmarkAblationAlias' -benchmem -count 1 . | tee -a 
 # The header records GOMAXPROCS and the machine CPU count so multi-core
 # and 1-CPU trajectories are distinguishable when comparing across boxes.
 NUM_CPU="$(nproc 2>/dev/null || echo 1)"
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$GOMAXPROCS" -v cpus="$NUM_CPU" '
-BEGIN { print "{"; printf "  \"generated\": \"%s\",\n  \"gomaxprocs\": %d,\n  \"num_cpu\": %d,\n  \"benchmarks\": {\n", date, procs, cpus }
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v procs="$GOMAXPROCS" -v cpus="$NUM_CPU" -v simd="$SIMD" '
+BEGIN { print "{"; printf "  \"generated\": \"%s\",\n  \"gomaxprocs\": %d,\n  \"num_cpu\": %d,\n  \"simd\": \"%s\",\n  \"benchmarks\": {\n", date, procs, cpus, simd }
 /^Benchmark/ {
     name = $1
     # go test appends -GOMAXPROCS only when it exceeds 1; strip exactly it

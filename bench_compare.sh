@@ -7,14 +7,22 @@
 # numbers on small containers carry scheduler noise; their allocation
 # behavior is pinned by TestRemoteHotPathDoesNotAllocate instead of here.
 #
+# The dense-kernel benches (BenchmarkDot*, BenchmarkMatVec*,
+# BenchmarkAxpy*, BenchmarkQuantizedScan) are gated at the same default
+# threshold and must stay allocation-free — a kernel that silently falls
+# back to a slower path or starts allocating fails here. Comparison is
+# refused outright when the baseline was recorded under a different simd
+# dispatch than the current run.
+#
 # Usage: ./bench_compare.sh [baseline.json]
-#        (env THRESH=1.20 RPC_THRESH=1.60 to tune)
+#        (env THRESH=1.20 RPC_THRESH=1.60 KERNEL_THRESH=1.20 to tune)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 BASE="${1:-BENCH_hotpath.json}"
 THRESH="${THRESH:-1.20}"
 RPC_THRESH="${RPC_THRESH:-1.60}"
+KERNEL_THRESH="${KERNEL_THRESH:-1.20}"
 if [ ! -f "$BASE" ]; then
     echo "error: baseline $BASE not found (run ./bench.sh first)" >&2
     exit 1
@@ -25,23 +33,36 @@ NOW="$(mktemp /tmp/bench_now.XXXXXX.json)"
 trap 'rm -f "$NOW"' EXIT
 ./bench.sh "$NOW"
 
-python3 - "$BASE" "$NOW" "$THRESH" "$RPC_THRESH" <<'PY'
+python3 - "$BASE" "$NOW" "$THRESH" "$RPC_THRESH" "$KERNEL_THRESH" <<'PY'
 import json, sys
 
 base_path, now_path = sys.argv[1], sys.argv[2]
-thresh, rpc_thresh = float(sys.argv[3]), float(sys.argv[4])
+thresh, rpc_thresh, kernel_thresh = float(sys.argv[3]), float(sys.argv[4]), float(sys.argv[5])
 with open(base_path) as f:
-    base = json.load(f)["benchmarks"]
+    base_doc = json.load(f)
 with open(now_path) as f:
-    now = json.load(f)["benchmarks"]
+    now_doc = json.load(f)
+base, now = base_doc["benchmarks"], now_doc["benchmarks"]
+
+# Kernel numbers from different dispatches (avx2 vs purego) are not a
+# regression signal — refuse the comparison instead of failing it.
+base_simd, now_simd = base_doc.get("simd"), now_doc.get("simd")
+if base_simd and now_simd and base_simd != now_simd:
+    print(f"error: baseline recorded with simd={base_simd}, current run is simd={now_simd}; "
+          "regenerate the baseline with ./bench.sh under the same build", file=sys.stderr)
+    sys.exit(1)
 
 RPC_PREFIXES = ("BenchmarkRPCRoundTrip", "BenchmarkRemote")
+KERNEL_PREFIXES = ("BenchmarkDot", "BenchmarkMatVec", "BenchmarkAxpy", "BenchmarkQuantizedScan")
 
 def is_rpc(name):
     return name.startswith(RPC_PREFIXES)
 
+def is_kernel(name):
+    return name.startswith(KERNEL_PREFIXES)
+
 def gated(name):
-    return name.startswith("BenchmarkHotPath") or is_rpc(name)
+    return name.startswith("BenchmarkHotPath") or is_rpc(name) or is_kernel(name)
 
 failed = False
 print(f"{'gated bench':44s} {'baseline':>10s} {'now':>10s}  verdict")
@@ -51,7 +72,7 @@ for name in sorted(n for n in now if gated(n)):
     if old is None:
         print(f"{name:44s} {'-':>10s} {cur['ns_op']:>10}  new (no baseline)")
         continue
-    limit = rpc_thresh if is_rpc(name) else thresh
+    limit = rpc_thresh if is_rpc(name) else kernel_thresh if is_kernel(name) else thresh
     ratio = cur["ns_op"] / old["ns_op"]
     verdict = f"{ratio:.2f}x ok"
     if ratio > limit:

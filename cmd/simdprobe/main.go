@@ -1,0 +1,14 @@
+// Command simdprobe prints which dense-kernel dispatch this build
+// selects on this machine: "avx2" when the AVX2+FMA assembly kernels are
+// active, "purego" under the purego build tag or on hardware without
+// them. bench.sh records the value in the BENCH_hotpath.json header so
+// perf trajectories name the kernel set that produced them.
+package main
+
+import (
+	"fmt"
+
+	"zoomer/internal/tensor"
+)
+
+func main() { fmt.Println(tensor.SIMD()) }

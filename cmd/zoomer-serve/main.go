@@ -128,7 +128,7 @@ func main() {
 		fmt.Printf("engine: %d remote shards (%s partitioning, routing epoch %d) behind %d servers\n",
 			eng.NumShards(), cluster.Info.Strategy, eng.Routing().Epoch(), len(addrs))
 	} else {
-		eng = engine.New(g, engine.Config{Shards: *shards, Replicas: *replicas, Strategy: strat})
+		eng = engine.New(g, engine.Config{Shards: *shards, Replicas: *replicas, Strategy: strat, Locality: true})
 	}
 	st := eng.Stats()
 	fmt.Printf("engine: %d shards x %d replicas, nodes/shard %v, edges/shard %v\n",

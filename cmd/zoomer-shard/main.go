@@ -90,6 +90,7 @@ func main() {
 	own := flag.String("own", "", "comma-separated shard ids this server owns (default: all)")
 	replicas := flag.Int("replicas", 2, "replicas per owned shard")
 	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
+	locality := flag.Bool("locality", true, "BFS-reorder each shard's rows for cache locality (must match across the cluster)")
 	rpcWorkers := flag.Int("rpc-workers", 0, "concurrent request dispatch per connection (0 = default 4)")
 	rpcWindow := flag.Int("rpc-window", 0, "buffered requests per connection before the read loop blocks (0 = default 64)")
 	advertise := flag.String("advertise", "", "address to announce to the cluster (enables membership + replica placement)")
@@ -167,6 +168,7 @@ func main() {
 		Strategy:    strat,
 		Owned:       owned,
 		Replicas:    *replicas,
+		Locality:    *locality,
 		Advertise:   *advertise,
 		ConnWorkers: *rpcWorkers,
 		ConnWindow:  *rpcWindow,

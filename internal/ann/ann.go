@@ -4,7 +4,11 @@
 // k-means centroids over cosine space, and posting lists of items per
 // centroid. A query probes the nprobe closest centroids and scores only
 // their lists, trading a controllable amount of recall for sub-linear
-// search.
+// search. The coarse layer is scored on int8-quantized centroids
+// (symmetric per-centroid scales, exact int32 dots — see Index); the
+// surviving posting lists are scored at full precision, so quantization
+// costs probe choice, not ranking precision, and the recall tests pin
+// that cost below 1%.
 package ann
 
 import (
@@ -22,9 +26,19 @@ type Result struct {
 }
 
 // Index is an immutable IVF index over unit-normalized vectors.
+//
+// The coarse layer is stored twice: full-precision centroids (k-means
+// construction, SearchExact) and an int8-quantized copy the hot search
+// path scores instead. Quantization is symmetric per centroid — row c
+// is qcent[c*dim:(c+1)*dim] with reconstruction c[i] ≈ qcent[i]·qscale[c]
+// — so a centroid score is one int8 dot (int32-accumulated, exact)
+// scaled by two floats. Posting lists are always scored at full
+// precision; quantization only picks which lists to probe.
 type Index struct {
 	dim       int
 	centroids []tensor.Vec
+	qcent     []int8    // flat quantized centroid rows, cache-contiguous
+	qscale    []float32 // per-centroid dequantization scale
 	listIDs   [][]int64
 	listVecs  [][]tensor.Vec
 }
@@ -144,7 +158,44 @@ func Build(ids []int64, vecs []tensor.Vec, cfg Config) *Index {
 		ix.listIDs[c] = append(ix.listIDs[c], ids[i])
 		ix.listVecs[c] = append(ix.listVecs[c], normed[i])
 	}
+	ix.quantizeCentroids()
 	return ix
+}
+
+// quantizeCentroids fills the int8 coarse layer: symmetric per-centroid
+// quantization q[i] = round(c[i]/scale) with scale = max|c[i]|/127, so
+// the full int8 range is spent on each centroid's own dynamic range and
+// reconstruction error is ≤ scale/2 per component. A zero centroid
+// (possible only degenerately) quantizes to zeros with scale 0.
+// Quantization runs once at build time in pure Go, so both build tags
+// index identical bytes.
+func (ix *Index) quantizeCentroids() {
+	ix.qcent = make([]int8, len(ix.centroids)*ix.dim)
+	ix.qscale = make([]float32, len(ix.centroids))
+	for c, cent := range ix.centroids {
+		var m float32
+		for _, v := range cent {
+			if a := float32(math.Abs(float64(v))); a > m {
+				m = a
+			}
+		}
+		if m == 0 {
+			continue
+		}
+		scale := m / 127
+		row := ix.qcent[c*ix.dim : (c+1)*ix.dim]
+		for i, v := range cent {
+			q := math.Round(float64(v / scale))
+			switch {
+			case q > 127:
+				q = 127
+			case q < -127:
+				q = -127
+			}
+			row[i] = int8(q)
+		}
+		ix.qscale[c] = scale
+	}
 }
 
 // Dim returns the vector dimensionality.
@@ -163,12 +214,14 @@ func (ix *Index) Len() int {
 }
 
 // SearchScratch holds the per-worker buffers of the search hot path: the
-// normalized query copy, centroid scores, probe order and the bounded
-// result heap. Not safe for concurrent use — one per worker, like
-// *rng.RNG. Result slices returned by SearchInto are backed by the
-// scratch and valid only until its next use.
+// normalized query copy, its int8 quantization for the coarse scan,
+// centroid scores, probe order and the bounded result heap. Not safe for
+// concurrent use — one per worker, like *rng.RNG. Result slices returned
+// by SearchInto are backed by the scratch and valid only until its next
+// use.
 type SearchScratch struct {
 	q       tensor.Vec
+	qq      []int8
 	cscore  []float32
 	corder  []int32
 	results []Result
@@ -187,6 +240,44 @@ func (sc *SearchScratch) centroidBufs(n int) ([]float32, []int32) {
 	return sc.cscore[:n], sc.corder[:n]
 }
 
+func (sc *SearchScratch) queryQuant(n int) []int8 {
+	if cap(sc.qq) < n {
+		sc.qq = make([]int8, n)
+	}
+	return sc.qq[:n]
+}
+
+// quantizeQuery writes the symmetric int8 quantization of q into qq and
+// returns its dequantization scale (0 for a zero query, whose quantized
+// form is all zeros — every centroid then scores 0, exactly as the
+// full-precision scan of a zero query would).
+func quantizeQuery(q tensor.Vec, qq []int8) float32 {
+	var m float32
+	for _, v := range q {
+		if a := float32(math.Abs(float64(v))); a > m {
+			m = a
+		}
+	}
+	if m == 0 {
+		for i := range qq {
+			qq[i] = 0
+		}
+		return 0
+	}
+	scale := m / 127
+	for i, v := range q {
+		x := math.Round(float64(v / scale))
+		switch {
+		case x > 127:
+			x = 127
+		case x < -127:
+			x = -127
+		}
+		qq[i] = int8(x)
+	}
+	return scale
+}
+
 // Search probes the nprobe closest coarse centroids and returns the topK
 // highest-cosine results among their posting lists, best first. The
 // returned slice is independently owned. Serving workers should prefer
@@ -196,10 +287,11 @@ func (ix *Index) Search(query tensor.Vec, topK, nprobe int) []Result {
 }
 
 // SearchInto is Search with caller-supplied scratch: with a non-nil sc
-// the whole probe — query normalization, centroid ranking, candidate
-// scoring and top-K selection (a bounded min-heap, O(C log K) over C
-// candidates) — performs zero heap allocations, and the returned slice
-// is backed by sc. A nil sc falls back to per-call allocation.
+// the whole probe — query normalization, the int8-quantized coarse scan
+// that ranks centroids, full-precision candidate scoring and top-K
+// selection (a bounded min-heap, O(C log K) over C candidates) —
+// performs zero heap allocations, and the returned slice is backed by
+// sc. A nil sc falls back to per-call allocation.
 func (ix *Index) SearchInto(query tensor.Vec, topK, nprobe int, sc *SearchScratch) []Result {
 	if len(query) != ix.dim {
 		panic(fmt.Sprintf("ann: query dim %d, index dim %d", len(query), ix.dim))
@@ -220,11 +312,24 @@ func (ix *Index) SearchInto(query tensor.Vec, topK, nprobe int, sc *SearchScratc
 	q := sc.q
 	tensor.Normalize(q)
 
-	// Rank centroids: score them all, then partially select the nprobe
-	// best (nprobe passes of max-selection; nprobe is small).
+	// Rank centroids on the quantized coarse layer: one exact int8 dot
+	// per centroid over the cache-contiguous qcent rows, scaled back by
+	// the two dequantization factors. The int32 accumulation is
+	// bit-identical across kernel dispatch, so the probe order — and
+	// with it every result this function returns — is too. Then
+	// partially select the nprobe best (nprobe passes of max-selection;
+	// nprobe is small). The surviving lists are re-ranked at full
+	// precision below.
 	cscore, corder := sc.centroidBufs(len(ix.centroids))
-	for c, cent := range ix.centroids {
-		cscore[c] = tensor.Dot(q, cent)
+	qq := sc.queryQuant(ix.dim)
+	if qs := quantizeQuery(q, qq); qs == 0 {
+		for c := range cscore {
+			cscore[c] = 0
+		}
+	} else {
+		for c := range ix.centroids {
+			cscore[c] = float32(tensor.DotI8(qq, ix.qcent[c*ix.dim:(c+1)*ix.dim])) * ix.qscale[c] * qs
+		}
 	}
 	for p := 0; p < nprobe; p++ {
 		best := -1

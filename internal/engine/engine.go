@@ -207,10 +207,17 @@ type Config struct {
 	Shards   int                // graph partitions (capacity axis)
 	Replicas int                // copies per shard (throughput axis)
 	Strategy partition.Strategy // node-to-shard assignment
+	// Locality renumbers each shard's rows in BFS order over its induced
+	// subgraph (partition.Options.Locality) so co-sampled adjacencies sit
+	// in adjacent CSR and alias rows. Draw-for-draw identical to the
+	// ascending-id layout — only memory order changes.
+	Locality bool
 }
 
 // DefaultConfig mirrors a small production deployment.
-func DefaultConfig() Config { return Config{Shards: 4, Replicas: 2, Strategy: partition.Hash} }
+func DefaultConfig() Config {
+	return Config{Shards: 4, Replicas: 2, Strategy: partition.Hash, Locality: true}
+}
 
 // backendSet is one immutable view of shard ownership: which stores
 // serve each partition right now. Every partition has a replica group —
@@ -422,7 +429,7 @@ func New(g *graph.Graph, cfg Config) *Engine {
 	if cfg.Shards <= 0 || cfg.Replicas <= 0 {
 		panic(fmt.Sprintf("engine: invalid config %+v", cfg))
 	}
-	part := partition.Split(g, cfg.Shards, cfg.Strategy)
+	part := partition.SplitOpts(g, cfg.Shards, cfg.Strategy, partition.Options{Locality: cfg.Locality})
 	e := &Engine{
 		g:          g,
 		routing:    part.RoutingTable(),

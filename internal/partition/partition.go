@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"zoomer/internal/graph"
 	"zoomer/internal/tensor"
@@ -116,9 +117,29 @@ type Partition struct {
 // RoutingTable returns the partition's routing table (shared, read-only).
 func (p *Partition) RoutingTable() *Routing { return &p.Routing }
 
+// Options tunes a split beyond the assignment strategy.
+type Options struct {
+	// Locality renumbers each shard's local indices in BFS order over the
+	// shard-induced subgraph (seeds in decreasing-degree order, ties by
+	// id) instead of ascending global id, so nodes that co-occur on
+	// sampling frontiers land in adjacent CSR rows and the alias/edge
+	// arrays stream instead of striding. External node ids, the
+	// node-to-shard assignment and the routing wire format are untouched;
+	// the cost is that both owner and local tables are materialized even
+	// under Hash (8 bytes per node in the marshaled blob). The order is a
+	// pure function of the graph, so every server splitting the same graph
+	// computes identical local numbering.
+	Locality bool
+}
+
 // Split partitions g into the given number of shards. It panics on a
 // non-positive shard count.
 func Split(g *graph.Graph, shards int, strategy Strategy) *Partition {
+	return SplitOpts(g, shards, strategy, Options{})
+}
+
+// SplitOpts is Split with layout options.
+func SplitOpts(g *graph.Graph, shards int, strategy Strategy, opts Options) *Partition {
 	if shards <= 0 {
 		panic(fmt.Sprintf("partition: non-positive shard count %d", shards))
 	}
@@ -129,7 +150,16 @@ func Split(g *graph.Graph, shards int, strategy Strategy) *Partition {
 	}
 	switch strategy {
 	case Hash:
-		// owner = id % shards, local = id / shards: no table needed.
+		// owner = id % shards, local = id / shards: no table needed —
+		// unless locality reordering breaks the id/S arithmetic, in which
+		// case both tables are materialized like DegreeBalanced's.
+		if opts.Locality {
+			p.owner = make([]int32, n)
+			p.local = make([]int32, n)
+			for id := 0; id < n; id++ {
+				p.owner[id] = int32(uint32(id) % uint32(shards))
+			}
+		}
 	case DegreeBalanced:
 		p.owner = make([]int32, n)
 		p.local = make([]int32, n)
@@ -156,6 +186,11 @@ func Split(g *graph.Graph, shards int, strategy Strategy) *Partition {
 		}
 	}
 
+	if opts.Locality {
+		fillLocality(g, p)
+		return p
+	}
+
 	// Fill per-shard CSR in ascending global id order, so local indices
 	// are monotone in id within a shard (Hash's id/S arithmetic relies on
 	// this ordering; DegreeBalanced records it in the table).
@@ -172,6 +207,67 @@ func Split(g *graph.Graph, shards int, strategy Strategy) *Partition {
 		s.Content = append(s.Content, g.Content(nid))
 	}
 	return p
+}
+
+// fillLocality fills every shard's CSR in BFS-discovery order over its
+// induced subgraph and records the numbering in p.local. Seeds are tried
+// in decreasing global degree (ties by ascending id), so each hub and
+// the nodes reachable from it become one contiguous run of rows; the
+// tail (nodes in components without an unvisited seed predecessor) is
+// picked up by later seeds in the same deterministic scan.
+func fillLocality(g *graph.Graph, p *Partition) {
+	n := g.NumNodes()
+	members := make([][]int32, p.shards)
+	for id := 0; id < n; id++ {
+		s := p.Owner(graph.NodeID(id))
+		members[s] = append(members[s], int32(id))
+	}
+	visited := make([]bool, n) // shards are disjoint: one bitmap serves all
+	for s := range p.Shards {
+		order := localityOrder(g, p.owner, int32(s), members[s], visited)
+		sh := &p.Shards[s]
+		for pos, id32 := range order {
+			nid := graph.NodeID(id32)
+			p.local[id32] = int32(pos)
+			sh.Nodes = append(sh.Nodes, nid)
+			sh.Edges = append(sh.Edges, g.Neighbors(nid)...)
+			sh.Offsets = append(sh.Offsets, int32(len(sh.Edges)))
+			sh.Features = append(sh.Features, g.Features(nid))
+			sh.Content = append(sh.Content, g.Content(nid))
+		}
+	}
+}
+
+// localityOrder returns shard s's members in BFS-discovery order:
+// repeatedly take the highest-degree unvisited member as a seed and
+// breadth-first expand along same-shard edges (adjacency order). The
+// returned slice doubles as the BFS queue.
+func localityOrder(g *graph.Graph, owner []int32, s int32, members []int32, visited []bool) []int32 {
+	seeds := append([]int32(nil), members...)
+	sort.Slice(seeds, func(i, j int) bool {
+		di, dj := g.Degree(graph.NodeID(seeds[i])), g.Degree(graph.NodeID(seeds[j]))
+		if di != dj {
+			return di > dj
+		}
+		return seeds[i] < seeds[j]
+	})
+	order := make([]int32, 0, len(members))
+	for _, seed := range seeds {
+		if visited[seed] {
+			continue
+		}
+		visited[seed] = true
+		order = append(order, seed)
+		for qi := len(order) - 1; qi < len(order); qi++ {
+			for _, e := range g.Neighbors(graph.NodeID(order[qi])) {
+				if v := int32(e.To); owner[v] == s && !visited[v] {
+					visited[v] = true
+					order = append(order, v)
+				}
+			}
+		}
+	}
+	return order
 }
 
 // assignDegreeBalanced fills owner with a greedy LPT assignment: nodes in

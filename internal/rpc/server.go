@@ -25,6 +25,11 @@ type ServerConfig struct {
 	Strategy partition.Strategy // node-to-shard assignment
 	Owned    []int              // shard ids served at start (nil = all); handoffs move them later
 	Replicas int                // replicas per owned shard (initial and acquired alike)
+	// Locality enables BFS row renumbering within each shard
+	// (partition.Options.Locality). Every server of one cluster must
+	// agree on it — local indices travel in the routing blob, and the
+	// reorder is deterministic, so same graph + same flag = same layout.
+	Locality bool
 
 	// Advertise is the address other cluster members and serving-tier
 	// clients should reach this server at. When set, the server joins the
@@ -136,7 +141,7 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 		// to the worker count rather than overriding an explicit bound.
 		cfg.ConnWindow = cfg.ConnWorkers
 	}
-	part := partition.Split(g, cfg.Shards, cfg.Strategy)
+	part := partition.SplitOpts(g, cfg.Shards, cfg.Strategy, partition.Options{Locality: cfg.Locality})
 	owned := cfg.Owned
 	if owned == nil {
 		owned = make([]int, cfg.Shards)

@@ -17,91 +17,60 @@ type Vec = []float32
 func NewVec(n int) Vec { return make(Vec, n) }
 
 // Dot returns the inner product of a and b. It panics if lengths differ.
-// The loop is unrolled 4-wide with independent float64 accumulator lanes,
-// which breaks the add dependency chain without giving up the float64
-// accumulation the rest of the package guarantees.
+// Four independent float64 accumulator lanes break the add dependency
+// chain without giving up the float64 accumulation the rest of the
+// package guarantees; the AVX2 kernel keeps the identical lane layout,
+// so the result is bit-for-bit the same under either dispatch (see
+// dispatch_amd64.go for the contract).
 func Dot(a, b Vec) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s0, s1, s2, s3 float64
-	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += float64(a[i]) * float64(b[i])
-		s1 += float64(a[i+1]) * float64(b[i+1])
-		s2 += float64(a[i+2]) * float64(b[i+2])
-		s3 += float64(a[i+3]) * float64(b[i+3])
-	}
-	for ; i < len(a); i++ {
-		s0 += float64(a[i]) * float64(b[i])
-	}
-	return float32((s0 + s1) + (s2 + s3))
+	return dot(a, b)
 }
 
 // DotSq returns (a·b, b·b) in a single pass over b. The focal-biased
 // sampler's Tanimoto scoring needs both the cross product and the
 // neighbor's squared norm per neighbor; fusing them halves memory traffic
-// on the scoring hot path.
+// on the scoring hot path. Bit-identical across dispatch.
 func DotSq(a, b Vec) (dot, bsq float32) {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: DotSq length mismatch %d vs %d", len(a), len(b)))
 	}
-	var d0, d1, q0, q1 float64
-	i := 0
-	for ; i+2 <= len(a); i += 2 {
-		x0, x1 := float64(b[i]), float64(b[i+1])
-		d0 += float64(a[i]) * x0
-		d1 += float64(a[i+1]) * x1
-		q0 += x0 * x0
-		q1 += x1 * x1
-	}
-	for ; i < len(a); i++ {
-		x := float64(b[i])
-		d0 += float64(a[i]) * x
-		q0 += x * x
-	}
-	return float32(d0 + d1), float32(q0 + q1)
+	return dotSq(a, b)
 }
 
 // Axpy computes y += alpha*x in place. It panics if lengths differ.
+// Bit-identical across dispatch (elementwise float32, multiply and add
+// rounded separately on both sides of the seam).
 func Axpy(alpha float32, x, y Vec) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
-	i := 0
-	for ; i+4 <= len(x); i += 4 {
-		y[i] += alpha * x[i]
-		y[i+1] += alpha * x[i+1]
-		y[i+2] += alpha * x[i+2]
-		y[i+3] += alpha * x[i+3]
-	}
-	for ; i < len(x); i++ {
-		y[i] += alpha * x[i]
-	}
+	axpy(alpha, x, y)
 }
 
 // DotAxpy fuses y += alpha*x with the inner product x·w in one traversal
 // of x: the serving aggregate both scores a neighbor embedding against an
 // attention vector and accumulates it into the output, and fusing keeps x
 // cache-resident across the two uses. It panics if lengths differ.
+// Bit-identical across dispatch.
 func DotAxpy(alpha float32, x, w, y Vec) float32 {
 	if len(x) != len(w) || len(x) != len(y) {
 		panic(fmt.Sprintf("tensor: DotAxpy length mismatch %d/%d/%d", len(x), len(w), len(y)))
 	}
-	var s0, s1 float64
-	i := 0
-	for ; i+2 <= len(x); i += 2 {
-		x0, x1 := x[i], x[i+1]
-		s0 += float64(x0) * float64(w[i])
-		s1 += float64(x1) * float64(w[i+1])
-		y[i] += alpha * x0
-		y[i+1] += alpha * x1
+	return dotAxpy(alpha, x, w, y)
+}
+
+// DotI8 returns the int32-accumulated inner product of two int8 vectors
+// — the scoring kernel of the quantized ANN coarse scan. Every
+// intermediate is exact, so the vectorized and generic implementations
+// agree bit for bit by construction. It panics if lengths differ.
+func DotI8(a, b []int8) int32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: DotI8 length mismatch %d vs %d", len(a), len(b)))
 	}
-	for ; i < len(x); i++ {
-		s0 += float64(x[i]) * float64(w[i])
-		y[i] += alpha * x[i]
-	}
-	return float32(s0 + s1)
+	return dotI8(a, b)
 }
 
 // Scale multiplies x by alpha in place.
@@ -154,28 +123,32 @@ func Copy(x Vec) Vec {
 	return out
 }
 
-// Norm2 returns the Euclidean norm of x.
-func Norm2(x Vec) float32 {
+// sqNorm64 is the one squared-norm kernel Norm2, SqNorm and Normalize
+// all sit on, kept in float64 until each caller's final rounding so the
+// three stay mutually consistent (Normalize used to run its own Norm2
+// pass; now norm and squared norm come from the same accumulation).
+func sqNorm64(x Vec) float64 {
 	var s float64
 	for _, v := range x {
 		s += float64(v) * float64(v)
 	}
-	return float32(math.Sqrt(s))
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x Vec) float32 {
+	return float32(math.Sqrt(sqNorm64(x)))
 }
 
 // SqNorm returns the squared Euclidean norm of x.
 func SqNorm(x Vec) float32 {
-	var s float64
-	for _, v := range x {
-		s += float64(v) * float64(v)
-	}
-	return float32(s)
+	return float32(sqNorm64(x))
 }
 
 // Normalize scales x to unit norm in place. A zero vector is left
 // unchanged.
 func Normalize(x Vec) {
-	n := Norm2(x)
+	n := float32(math.Sqrt(sqNorm64(x)))
 	if n == 0 {
 		return
 	}
@@ -292,22 +265,25 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
-// MatVec computes out = m · x. It panics on shape mismatch.
+// MatVec computes out = m · x. It panics on shape mismatch. Each row is
+// one Dot-kernel call, so the nn/training forward path rides the same
+// 4-lane (and, under dispatch, vectorized) kernel as the serving path
+// instead of the old single-accumulator row loop.
 func MatVec(m *Matrix, x, out Vec) {
 	if len(x) != m.Cols || len(out) != m.Rows {
 		panic(fmt.Sprintf("tensor: MatVec shape mismatch (%dx%d)·%d -> %d", m.Rows, m.Cols, len(x), len(out)))
 	}
 	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		var s float64
-		for j, v := range row {
-			s += float64(v) * float64(x[j])
-		}
-		out[i] = float32(s)
+		out[i] = dot(m.Data[i*m.Cols:(i+1)*m.Cols], x)
 	}
 }
 
 // MatVecT computes out = mᵀ · x (x has length Rows, out has length Cols).
+// Row i contributes out += x[i]·row — the Axpy kernel — with zero rows
+// of x skipped (identical bits either way except for signed-zero inputs,
+// and a skip is cheaper than 2·Cols flops). Bit-identical across
+// dispatch: elementwise float32 with multiply and add rounded
+// separately.
 func MatVecT(m *Matrix, x, out Vec) {
 	if len(x) != m.Rows || len(out) != m.Cols {
 		panic(fmt.Sprintf("tensor: MatVecT shape mismatch (%dx%d)ᵀ·%d -> %d", m.Rows, m.Cols, len(x), len(out)))
@@ -320,10 +296,7 @@ func MatVecT(m *Matrix, x, out Vec) {
 		if xi == 0 {
 			continue
 		}
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, v := range row {
-			out[j] += xi * v
-		}
+		axpy(xi, m.Data[i*m.Cols:(i+1)*m.Cols], out)
 	}
 }
 
