@@ -1,10 +1,11 @@
 # Tier-1 verification and perf tooling for the Zoomer reproduction.
 
-.PHONY: verify verify-purego test race chaos bench bench-compare docs-check ci
+.PHONY: verify verify-purego test race chaos bench bench-compare docs-check compose-check gateway-smoke ci
 
 # The full CI gate: tier-1 verify (both kernel dispatches), race hammer,
-# fault-injection suite, perf regression check, documentation link check.
-ci: verify verify-purego race chaos bench-compare docs-check
+# fault-injection suite, perf regression check, documentation link check,
+# deploy topology lint, and the multi-process gateway smoke run.
+ci: verify verify-purego race chaos bench-compare docs-check compose-check gateway-smoke
 
 # The tier-1 loop: vet + build + test. vet's asmdecl check covers the
 # AVX2 kernel frames in internal/tensor.
@@ -48,3 +49,14 @@ bench-compare:
 # Fail on broken intra-repo links in *.md (docs/, READMEs, ROADMAP...).
 docs-check:
 	./docs_check.sh
+
+# Lint the containerized topology (docker compose config when a compose
+# plugin exists, structural YAML check otherwise).
+compose-check:
+	./deploy/compose_check.sh
+
+# End-to-end multi-process run: 2 zoomer-shard + zoomer-gateway +
+# zoomer-loadgen over real TCP; asserts the degradation ladder engages
+# under overload and the gateway drains cleanly on SIGTERM.
+gateway-smoke:
+	./deploy/gateway_smoke.sh

@@ -1,0 +1,126 @@
+// Command zoomer-gateway is the HTTP front door of the serving stack:
+// it stands up the online tier (trimmed model, neighbor cache, ANN
+// index, worker pool) over in-process or remote shards and serves
+// retrieval over HTTP with admission control, per-request deadlines,
+// load shedding and graceful drain. See docs/OPERATIONS.md for the
+// runbook and deploy/ for the containerized topology.
+//
+// Usage:
+//
+//	zoomer-gateway -scale small -listen :8080
+//	zoomer-gateway -scale small -seed 1 -remote shard0:7001,shard1:7002
+//
+// Endpoints:
+//
+//	GET /v1/retrieve?user=U&query=Q[&k=K][&deadline_ms=D]   JSON answer
+//	GET /v1/retrieve?rand=1                                 gateway picks the pair
+//	GET /v1/retrieve.bin?...                                binary answer (ZGR1 frame)
+//	GET /healthz                                            200 ok / 503 draining
+//	GET /metrics                                            Prometheus text format
+//
+// SIGINT/SIGTERM starts the graceful drain: healthz flips to 503, new
+// retrievals are refused, in-flight requests finish, then the HTTP
+// listener and the serving stack (cluster connections included) close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"zoomer/internal/gateway"
+	"zoomer/internal/serve"
+	"zoomer/internal/servestack"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	scale := flag.String("scale", "small", "tiny | small | medium | large")
+	seed := flag.Uint64("seed", 1, "random seed (must match zoomer-shard's with -remote)")
+	trainSteps := flag.Int("train", 100, "warm-up training steps before export")
+	workers := flag.Int("workers", 4, "serving workers")
+	cacheK := flag.Int("cachek", 30, "cached neighbors per node")
+	topK := flag.Int("topk", 100, "retrieved items per request")
+	queueSize := flag.Int("queue", 4096, "serve queue depth")
+	shards := flag.Int("shards", 4, "graph engine partitions (in-process mode)")
+	replicas := flag.Int("replicas", 2, "replicas per shard (in-process mode)")
+	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
+	remote := flag.String("remote", "", "comma-separated zoomer-shard addresses (empty: in-process shards)")
+	rpcConns := flag.Int("rpc-conns", 0, "multiplexed connections per shard server (0 = default)")
+	rpcWindow := flag.Int("rpc-window", 0, "in-flight requests per connection (0 = default)")
+	maxInFlight := flag.Int("max-inflight", 256, "hard admission cap (beyond: 503)")
+	shedFrac := flag.Float64("shed-frac", 0.75, "soft shed threshold as a fraction of max-inflight (beyond: cache-only answers)")
+	defDeadline := flag.Duration("default-deadline", 200*time.Millisecond, "per-request deadline when the client sends none")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Second, "clamp on client-requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "bound on the graceful drain wait")
+	logJSON := flag.Bool("log-json", false, "emit JSON logs instead of text")
+	flag.Parse()
+
+	var h slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		h = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(h)
+
+	var addrs []string
+	if *remote != "" {
+		addrs = strings.Split(*remote, ",")
+	}
+	stack, err := servestack.Build(servestack.Config{
+		Scale: *scale, Seed: *seed, TrainSteps: *trainSteps,
+		Shards: *shards, Replicas: *replicas, Strategy: *strategy,
+		Remote: addrs, RPCConns: *rpcConns, RPCWindow: *rpcWindow,
+		Serve: serve.Config{Workers: *workers, CacheK: *cacheK, TopK: *topK, QueueSize: *queueSize},
+	}, func(format string, args ...any) {
+		log.Info(fmt.Sprintf(format, args...))
+	})
+	if err != nil {
+		log.Error("bring-up failed", "err", err)
+		os.Exit(1)
+	}
+	defer stack.Close()
+
+	gw := gateway.New(stack.Server, stack.Users, stack.Queries, stack.Graph.NumNodes(), gateway.Config{
+		MaxInFlight:     *maxInFlight,
+		ShedFraction:    *shedFrac,
+		DefaultDeadline: *defDeadline,
+		MaxDeadline:     *maxDeadline,
+		Logger:          log,
+	})
+
+	httpSrv := &http.Server{Addr: *listen, Handler: gw.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		s := <-sig
+		log.Info("signal received, draining", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := gw.Drain(ctx); err != nil {
+			log.Error("drain failed", "err", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Error("http shutdown failed", "err", err)
+		}
+	}()
+
+	log.Info("gateway listening", "addr", *listen,
+		"max_inflight", *maxInFlight, "shed_frac", *shedFrac,
+		"default_deadline", *defDeadline, "users", len(stack.Users), "queries", len(stack.Queries))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Error("listen failed", "err", err)
+		os.Exit(1)
+	}
+	<-done
+	log.Info("gateway stopped")
+}

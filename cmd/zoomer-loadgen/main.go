@@ -1,0 +1,184 @@
+// Command zoomer-loadgen drives an open-loop HTTP load sweep against a
+// zoomer-gateway and prints a Fig. 9-style table: p50/p95/p99 response
+// time against offered QPS, with the gateway's degradation ladder
+// (degraded cache-only answers, 503 sheds, 504 deadline misses) broken
+// out per point. It needs no world knowledge — requests use the
+// gateway's rand=1 pair-picking mode.
+//
+// Usage:
+//
+//	zoomer-loadgen -target http://localhost:8080 -qps 200,500,1000,2000 -duration 3s
+//
+// The sweep is open-loop: requests are launched on the offered
+// schedule regardless of completions, so overload shows up as latency
+// and shed counts, not as a silently reduced offered rate. A bounded
+// launcher pool caps client-side concurrency; launches that find the
+// pool exhausted are counted (local_sat) rather than silently skipped,
+// so client saturation is visible instead of polluting the server-side
+// numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type point struct {
+	qps                    float64
+	sent, ok, degraded     int64
+	shed, deadline, failed int64
+	localSat               int64
+	lats                   []time.Duration
+}
+
+func pct(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	i := int(float64(len(lats)) * p)
+	if i >= len(lats) {
+		i = len(lats) - 1
+	}
+	return lats[i]
+}
+
+func main() {
+	target := flag.String("target", "http://localhost:8080", "gateway base URL")
+	qpsList := flag.String("qps", "200,500,1000,2000", "comma-separated offered QPS points")
+	duration := flag.Duration("duration", 3*time.Second, "measurement window per point")
+	deadlineMS := flag.Int("deadline-ms", 0, "per-request deadline sent to the gateway (0: gateway default)")
+	conc := flag.Int("concurrency", 512, "max in-flight client requests")
+	binary := flag.Bool("binary", false, "use the binary endpoint instead of JSON")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "warm-up run before the sweep (0: skip)")
+	flag.Parse()
+
+	var qps []float64
+	for _, s := range strings.Split(*qpsList, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad qps %q: sweep points must be positive numbers\n", s)
+			os.Exit(2)
+		}
+		qps = append(qps, v)
+	}
+
+	path := "/v1/retrieve?rand=1"
+	if *binary {
+		path = "/v1/retrieve.bin?rand=1"
+	}
+	if *deadlineMS > 0 {
+		path += "&deadline_ms=" + strconv.Itoa(*deadlineMS)
+	}
+	url := strings.TrimRight(*target, "/") + path
+
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc,
+			MaxIdleConnsPerHost: *conc,
+		},
+	}
+
+	// Wait for the gateway to come up (world building takes a while).
+	healthz := strings.TrimRight(*target, "/") + "/healthz"
+	for start := time.Now(); ; {
+		resp, err := client.Get(healthz)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Since(start) > 5*time.Minute {
+			fmt.Fprintln(os.Stderr, "gateway never became healthy")
+			os.Exit(1)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	if *warmup > 0 {
+		runPoint(client, url, 200, *warmup, *conc)
+	}
+
+	fmt.Printf("%-10s %-8s %-8s %-9s %-7s %-9s %-7s %-9s %-12s %-12s %-12s\n",
+		"QPS", "sent", "ok", "degraded", "shed", "deadline", "failed", "local_sat", "p50", "p95", "p99")
+	for _, q := range qps {
+		pt := runPoint(client, url, q, *duration, *conc)
+		sort.Slice(pt.lats, func(i, j int) bool { return pt.lats[i] < pt.lats[j] })
+		fmt.Printf("%-10.0f %-8d %-8d %-9d %-7d %-9d %-7d %-9d %-12v %-12v %-12v\n",
+			q, pt.sent, pt.ok, pt.degraded, pt.shed, pt.deadline, pt.failed, pt.localSat,
+			pct(pt.lats, 0.50).Round(10*time.Microsecond),
+			pct(pt.lats, 0.95).Round(10*time.Microsecond),
+			pct(pt.lats, 0.99).Round(10*time.Microsecond))
+	}
+}
+
+func runPoint(client *http.Client, url string, qps float64, d time.Duration, conc int) *point {
+	pt := &point{qps: qps}
+	interval := time.Duration(float64(time.Second) / qps)
+	deadline := time.Now().Add(d)
+	sem := make(chan struct{}, conc)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	var ok, degraded, shed, dlx, failed atomic.Int64
+
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		select {
+		case sem <- struct{}{}:
+			pt.sent++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				start := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					failed.Add(1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat := time.Since(start)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					if resp.Header.Get("X-Zoomer-Degraded") == "1" {
+						degraded.Add(1)
+					}
+					mu.Lock()
+					pt.lats = append(pt.lats, lat)
+					mu.Unlock()
+				case http.StatusServiceUnavailable:
+					shed.Add(1)
+				case http.StatusGatewayTimeout:
+					dlx.Add(1)
+				default:
+					failed.Add(1)
+				}
+			}()
+		default:
+			pt.localSat++
+		}
+		next = next.Add(interval)
+		if sleep := time.Until(next); sleep > 0 {
+			time.Sleep(sleep)
+		}
+	}
+	wg.Wait()
+	pt.ok = ok.Load()
+	pt.degraded = degraded.Load()
+	pt.shed = shed.Load()
+	pt.deadline = dlx.Load()
+	pt.failed = failed.Load()
+	return pt
+}

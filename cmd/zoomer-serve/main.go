@@ -89,6 +89,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad qps %q: %v\n", s, err)
 			os.Exit(2)
 		}
+		if v <= 0 {
+			fmt.Fprintf(os.Stderr, "bad qps %q: sweep points must be positive (the open-loop submitter derives its inter-arrival gap from the rate)\n", s)
+			os.Exit(2)
+		}
 		qps = append(qps, v)
 	}
 
@@ -158,12 +162,19 @@ func main() {
 	users := g.NodesOfType(graph.User)
 	queries := g.NodesOfType(graph.Query)
 	// Cache warm-up.
-	serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, *seed+5)
+	if _, err := serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, *seed+5); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("%-10s %-14s %-14s %-10s %-10s %s\n", "QPS", "mean RT (ms)", "p99 RT (ms)", "served", "dropped", "shard load")
 	prev := eng.Stats().RequestsPerShard
 	for i, q := range qps {
-		st := serve.LoadTest(srv, users, queries, q, *duration, *seed+6+uint64(i))
+		st, err := serve.LoadTest(srv, users, queries, q, *duration, *seed+6+uint64(i))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		es := eng.Stats()
 		loads := make([]int64, len(es.RequestsPerShard))
 		for s := range loads {

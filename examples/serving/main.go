@@ -98,12 +98,17 @@ func main() {
 
 	users := g.NodesOfType(graph.User)
 	queries := g.NodesOfType(graph.Query)
-	serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, 35) // warm caches
+	if _, err := serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, 35); err != nil { // warm caches
+		panic(err)
+	}
 
 	fmt.Printf("%-8s  %-12s  %-12s  %-8s  %s\n", "QPS", "mean RT", "p99 RT", "served", "shard load")
 	prev := eng.Stats().RequestsPerShard
 	for i, qps := range []float64{500, 2000, 8000, 30000} {
-		st := serve.LoadTest(srv, users, queries, qps, 300*time.Millisecond, 36+uint64(i))
+		st, err := serve.LoadTest(srv, users, queries, qps, 300*time.Millisecond, 36+uint64(i))
+		if err != nil {
+			panic(err)
+		}
 		cur := eng.Stats().RequestsPerShard
 		loads := make([]int64, len(cur))
 		for s := range loads {

@@ -72,6 +72,17 @@ var ErrWrongEpoch = errors.New("engine: shard ownership moved (stale routing epo
 // it as rpc.ErrShardUnavailable; check with errors.Is at any layer.
 var ErrShardUnavailable = errors.New("shard unavailable (transport failure)")
 
+// ErrDeadlineExceeded is the typed per-call deadline failure: the
+// caller's budget for this request ran out before (or while) the owning
+// shard answered. It is not a transport failure — the shard may be
+// perfectly healthy — so it neither trips the client health circuit nor
+// triggers replica failover or an ownership refresh: the deadline bounds
+// the whole call, and the only correct reaction is to stop spending on
+// it. The serving tier's admission control keys on this sentinel to
+// degrade a request (cache-only answer, typed HTTP 504) instead of
+// queueing into collapse; check with errors.Is at any layer.
+var ErrDeadlineExceeded = errors.New("engine: per-call deadline exceeded")
+
 // ErrNoReplicas is the zero-healthy-replicas condition: every replica of
 // one partition failed at the transport level in a single call, so the
 // partition is effectively down. Errors matching it also match
@@ -184,6 +195,20 @@ type BackendStats interface {
 	ShardSize() (nodes, edges int)
 }
 
+// DeadlineSampler is optionally implemented by backends that can bound
+// one single-sample read by an absolute per-call deadline — the seam the
+// serving tier's request deadlines travel through. The RPC stub
+// implements it by shrinking its per-call I/O timers to the remaining
+// budget (rpc.ClientConfig.Timeout stays the ceiling); the in-process
+// Shard does not need to (a local read cannot block), so the engine
+// falls back to the plain SampleInto for backends without the facet
+// after checking the deadline itself. The contract matches SampleInto's
+// with one addition: a deadline failure reports 0 draws, wraps
+// ErrDeadlineExceeded, and must not consume r.
+type DeadlineSampler interface {
+	SampleIntoBy(id graph.NodeID, out []graph.NodeID, r *rng.RNG, deadline time.Time) (int, error)
+}
+
 // HealthReporter is optionally implemented by backends that track their
 // transport health (the RPC stub does, from its client's consecutive-
 // failure circuit). The replica pick consults it so steady-state traffic
@@ -263,6 +288,25 @@ func (set *backendSet) pick(si int, g []ShardBackend) int {
 	return start
 }
 
+// deadlinePassed reports whether a non-zero per-call deadline has
+// elapsed. The zero deadline (the plain, unbounded call) never reads the
+// clock, so the deadline-free hot path pays one branch, not a syscall.
+func deadlinePassed(deadline time.Time) bool {
+	return !deadline.IsZero() && !time.Now().Before(deadline)
+}
+
+// sampleOne issues one single-sample attempt against one backend,
+// threading the per-call deadline through the DeadlineSampler facet when
+// the backend has it. A zero deadline always takes the plain call.
+func sampleOne(be ShardBackend, id graph.NodeID, out []graph.NodeID, r *rng.RNG, deadline time.Time) (int, error) {
+	if !deadline.IsZero() {
+		if ds, ok := be.(DeadlineSampler); ok {
+			return ds.SampleIntoBy(id, out, r, deadline)
+		}
+	}
+	return be.SampleInto(id, out, r)
+}
+
 // sampleShard runs one replicated single-sample read against partition
 // si of this view: the picked replica first, then — on a transport
 // failure — each surviving replica in turn. Failover is invisible to the
@@ -270,11 +314,14 @@ func (set *backendSet) pick(si int, g []ShardBackend) int {
 // ShardBackend contract), so the retry on a sibling replica draws from
 // identical state. failover reports whether any replica failed under
 // this call, so the caller can kick an asynchronous ownership refresh
-// that rebinds the dead replica out of the view.
-func (set *backendSet) sampleShard(si int, id graph.NodeID, out []graph.NodeID, r *rng.RNG) (n int, failover bool, err error) {
+// that rebinds the dead replica out of the view. A non-zero deadline
+// bounds the whole replicated read: it is checked before each failover
+// attempt (walking the rotation must not multiply an exhausted budget)
+// and threaded into deadline-capable backends.
+func (set *backendSet) sampleShard(si int, id graph.NodeID, out []graph.NodeID, r *rng.RNG, deadline time.Time) (n int, failover bool, err error) {
 	g := set.groups[si]
 	if len(g) == 1 {
-		n, err = g[0].SampleInto(id, out, r)
+		n, err = sampleOne(g[0], id, out, r, deadline)
 		return n, false, err
 	}
 	start := set.pick(si, g)
@@ -283,7 +330,10 @@ func (set *backendSet) sampleShard(si int, id graph.NodeID, out []graph.NodeID, 
 		if i >= len(g) {
 			i -= len(g)
 		}
-		n, err = g[i].SampleInto(id, out, r)
+		if t > 0 && deadlinePassed(deadline) {
+			return 0, true, fmt.Errorf("engine: shard %d failover: %w", si, ErrDeadlineExceeded)
+		}
+		n, err = sampleOne(g[i], id, out, r, deadline)
 		if err == nil || !errors.Is(err, ErrShardUnavailable) {
 			return n, t > 0, err
 		}
@@ -839,12 +889,30 @@ func (e *Engine) SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng
 // retryRead takes would risk a heap allocation per call. Keep the two
 // loops in sync.
 func (e *Engine) TrySampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error) {
+	return e.TrySampleNeighborsIntoBy(id, out, r, time.Time{})
+}
+
+// TrySampleNeighborsIntoBy is TrySampleNeighborsInto bounded by an
+// absolute per-call deadline (zero: unbounded, the plain call). The
+// deadline travels through the ShardBackend seam: deadline-capable
+// backends (the RPC stub) shrink their per-call I/O timers to the
+// remaining budget, and the engine itself refuses to start — or to keep
+// failing over / chasing ownership refreshes — once the budget is gone.
+// A deadline failure reports 0 draws, wraps ErrDeadlineExceeded, never
+// consumes r, and deliberately skips the refresh-and-retry loop: the
+// shard did not move and its replicas are not down; the caller is out of
+// time. Passing a deadline adds no heap allocation — the serving
+// request path stays 0 allocs/op.
+func (e *Engine) TrySampleNeighborsIntoBy(id graph.NodeID, out []graph.NodeID, r *rng.RNG, deadline time.Time) (int, error) {
+	if deadlinePassed(deadline) {
+		return 0, ErrDeadlineExceeded
+	}
 	owner := e.routing.Owner(id)
 	set := e.bset.Load()
-	n, failover, err := set.sampleShard(owner, id, out, r)
-	for retry := 0; retry < maxEpochRetries && err != nil && retryable(err) && e.refresh(set); retry++ {
+	n, failover, err := set.sampleShard(owner, id, out, r, deadline)
+	for retry := 0; retry < maxEpochRetries && err != nil && retryable(err) && !deadlinePassed(deadline) && e.refresh(set); retry++ {
 		set = e.bset.Load()
-		n, failover, err = set.sampleShard(owner, id, out, r)
+		n, failover, err = set.sampleShard(owner, id, out, r, deadline)
 	}
 	if failover && err == nil {
 		e.kickRefresh(set)

@@ -137,11 +137,16 @@ func Fig9(o Options) Fig9Result {
 		dur = 150 * time.Millisecond
 	}
 	// Warm the caches so steady-state latency is measured.
-	serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, o.Seed+4)
+	if _, err := serve.LoadTest(srv, users, queries, 500, 100*time.Millisecond, o.Seed+4); err != nil {
+		panic(err) // fixed positive warm-up rate; cannot fail
+	}
 
 	var out Fig9Result
 	for i, qps := range qpsPoints {
-		st := serve.LoadTest(srv, users, queries, qps, dur, o.Seed+5+uint64(i))
+		st, err := serve.LoadTest(srv, users, queries, qps, dur, o.Seed+5+uint64(i))
+		if err != nil {
+			panic(err) // sweep points are fixed positive rates
+		}
 		out.Rows = append(out.Rows, Fig9Row{
 			QPS:          qps,
 			MeanRTMillis: float64(st.MeanRT.Microseconds()) / 1000,

@@ -1,0 +1,384 @@
+// Package gateway is the HTTP front door over the serve tier — the
+// network-facing layer of the §VII-E deployment story. It turns the
+// in-process worker-pool server into a service: JSON and binary
+// retrieval endpoints, health and metrics, and admission control done
+// at the door rather than discovered in the queue.
+//
+// Admission is three-tiered. A hard in-flight cap bounds concurrent
+// requests — beyond it the gateway answers 503 with Retry-After instead
+// of letting the queue convoy. Between the soft shed threshold and the
+// hard cap, requests are admitted in cache-only mode: the serve tier
+// answers from whatever the neighbor cache already holds, generating
+// zero backend samples, and the response is marked degraded — stale
+// neighbors beat a timeout, and the backends get headroom to recover.
+// Below the threshold, requests run the full path under a per-request
+// deadline that travels down through the serve queue, the neighbor
+// cache's miss fill, the engine's shard visit, and the RPC client's
+// per-call budget; a request that outlives its deadline is answered 504
+// with the typed engine.ErrDeadlineExceeded at whatever layer noticed.
+//
+// Drain is graceful by construction: Drain flips the gateway to
+// draining (healthz fails, new retrievals are refused 503), then waits
+// for in-flight requests to finish. Every admitted request is always
+// answered — the serve tier responds to each accepted submission
+// exactly once, expired ones typed — so the drain wait is bounded by
+// the slowest in-flight request, not by luck.
+package gateway
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zoomer/internal/ann"
+	"zoomer/internal/engine"
+	"zoomer/internal/graph"
+	"zoomer/internal/rng"
+	"zoomer/internal/serve"
+)
+
+// Config tunes the front door. Zero fields take the stated defaults.
+type Config struct {
+	// MaxInFlight is the hard admission cap (default 256): requests
+	// beyond it are shed with 503 + Retry-After.
+	MaxInFlight int
+	// ShedFraction of MaxInFlight is the soft threshold (default 0.75):
+	// above it admitted requests run cache-only and answers are marked
+	// degraded.
+	ShedFraction float64
+	// DefaultDeadline applies when the client sends none (default
+	// 200ms); MaxDeadline clamps client-requested deadlines (default
+	// 2s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// Logger receives structured request/lifecycle logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+func (c *Config) defaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.ShedFraction <= 0 || c.ShedFraction > 1 {
+		c.ShedFraction = 0.75
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 200 * time.Millisecond
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+}
+
+// Gateway is the HTTP front door. Construct with New, mount Handler,
+// stop with Drain.
+type Gateway struct {
+	srv            *serve.Server
+	users, queries []graph.NodeID
+	numNodes       int
+	cfg            Config
+	log            *slog.Logger
+
+	inflight atomic.Int64
+	draining atomic.Bool
+	met      *metrics
+
+	// respPool recycles the cap-1 response channels request handlers
+	// block on; the serve tier answers every accepted request exactly
+	// once, so a pooled channel is always empty when reused.
+	respPool sync.Pool
+
+	pickMu sync.Mutex
+	pick   *rng.RNG
+}
+
+// New wires a gateway over a running serve.Server. users/queries are
+// the id pools the rand=1 mode draws from (so load generators need no
+// world knowledge); numNodes bounds id validation for explicit ids.
+func New(srv *serve.Server, users, queries []graph.NodeID, numNodes int, cfg Config) *Gateway {
+	cfg.defaults()
+	g := &Gateway{
+		srv:      srv,
+		users:    users,
+		queries:  queries,
+		numNodes: numNodes,
+		cfg:      cfg,
+		log:      cfg.Logger,
+		pick:     rng.New(0x9e3779b97f4a7c15),
+	}
+	g.met = newMetrics(&g.inflight, "retrieve", "retrieve_bin")
+	g.respPool.New = func() any { return make(chan serve.Response, 1) }
+	return g
+}
+
+// Handler returns the route table: /v1/retrieve (JSON), /v1/retrieve.bin
+// (binary), /healthz, /metrics.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/retrieve", func(w http.ResponseWriter, r *http.Request) {
+		g.handleRetrieve(w, r, false)
+	})
+	mux.HandleFunc("/v1/retrieve.bin", func(w http.ResponseWriter, r *http.Request) {
+		g.handleRetrieve(w, r, true)
+	})
+	mux.HandleFunc("/healthz", g.handleHealthz)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	return mux
+}
+
+// Draining reports whether drain has started.
+func (g *Gateway) Draining() bool { return g.draining.Load() }
+
+// InFlight reports the requests currently inside admission.
+func (g *Gateway) InFlight() int64 { return g.inflight.Load() }
+
+// Drain stops admission (healthz turns 503 so balancers eject the
+// instance, new retrievals are refused) and waits for every in-flight
+// request to be answered. Returns nil when in-flight reached zero, or
+// ctx.Err() on timeout — with the count still in flight wrapped in.
+func (g *Gateway) Drain(ctx context.Context) error {
+	g.draining.Store(true)
+	g.log.Info("drain started", "inflight", g.inflight.Load())
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		n := g.inflight.Load()
+		if n == 0 {
+			g.log.Info("drain complete")
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("gateway: drain timed out with %d in flight: %w", n, ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if g.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	g.met.writeTo(w)
+}
+
+// pickIDs resolves the (user, query) pair: rand=1 draws from the pools,
+// otherwise explicit ids are parsed and bounds-checked — an out-of-range
+// id would index past the serving weights.
+func (g *Gateway) pickIDs(r *http.Request) (user, query graph.NodeID, err error) {
+	q := r.URL.Query()
+	if q.Get("rand") == "1" {
+		if len(g.users) == 0 || len(g.queries) == 0 {
+			return 0, 0, errors.New("rand mode unavailable: empty id pools")
+		}
+		g.pickMu.Lock()
+		user = g.users[g.pick.Intn(len(g.users))]
+		query = g.queries[g.pick.Intn(len(g.queries))]
+		g.pickMu.Unlock()
+		return user, query, nil
+	}
+	pu, err := strconv.ParseUint(q.Get("user"), 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad user id %q", q.Get("user"))
+	}
+	pq, err := strconv.ParseUint(q.Get("query"), 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad query id %q", q.Get("query"))
+	}
+	if pu >= uint64(g.numNodes) || pq >= uint64(g.numNodes) {
+		return 0, 0, fmt.Errorf("id out of range (world has %d nodes)", g.numNodes)
+	}
+	return graph.NodeID(pu), graph.NodeID(pq), nil
+}
+
+// deadlineFor resolves the per-request budget: deadline_ms query param
+// (or X-Zoomer-Deadline-Ms header), defaulted and clamped.
+func (g *Gateway) deadlineFor(r *http.Request) time.Duration {
+	s := r.URL.Query().Get("deadline_ms")
+	if s == "" {
+		s = r.Header.Get("X-Zoomer-Deadline-Ms")
+	}
+	d := g.cfg.DefaultDeadline
+	if s != "" {
+		if ms, err := strconv.ParseFloat(s, 64); err == nil && ms > 0 && !math.IsInf(ms, 0) {
+			d = time.Duration(ms * float64(time.Millisecond))
+		}
+	}
+	if d > g.cfg.MaxDeadline {
+		d = g.cfg.MaxDeadline
+	}
+	return d
+}
+
+// Item is one scored item in the JSON answer.
+type Item struct {
+	ID    int64   `json:"id"`
+	Score float32 `json:"score"`
+}
+
+// retrieveReply is the JSON answer envelope.
+type retrieveReply struct {
+	User      uint32 `json:"user"`
+	Query     uint32 `json:"query"`
+	Degraded  bool   `json:"degraded,omitempty"`
+	LatencyUs int64  `json:"latency_us"`
+	Items     []Item `json:"items"`
+}
+
+func (g *Gateway) handleRetrieve(w http.ResponseWriter, r *http.Request, bin bool) {
+	route := "retrieve"
+	if bin {
+		route = "retrieve_bin"
+	}
+	rm := g.met.route(route)
+	start := time.Now()
+
+	if g.draining.Load() {
+		g.met.drainRejects.Add(1)
+		rm.count(http.StatusServiceUnavailable)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	n := g.inflight.Add(1)
+	defer g.inflight.Add(-1)
+	if n > int64(g.cfg.MaxInFlight) {
+		g.met.shedHard.Add(1)
+		rm.count(http.StatusServiceUnavailable)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded: in-flight cap reached", http.StatusServiceUnavailable)
+		return
+	}
+	user, query, err := g.pickIDs(r)
+	if err != nil {
+		rm.count(http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	cacheOnly := float64(n) > g.cfg.ShedFraction*float64(g.cfg.MaxInFlight)
+	deadline := start.Add(g.deadlineFor(r))
+
+	resp := g.respPool.Get().(chan serve.Response)
+	if !g.srv.SubmitReq(serve.Request{User: user, Query: query, Deadline: deadline, CacheOnly: cacheOnly}, resp) {
+		g.respPool.Put(resp)
+		g.met.shedQueue.Add(1)
+		rm.count(http.StatusServiceUnavailable)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded: queue full", http.StatusServiceUnavailable)
+		return
+	}
+	// Every accepted request is answered exactly once — expired ones
+	// with the typed error — so this receive cannot hang a drain.
+	rsp := <-resp
+	g.respPool.Put(resp)
+
+	if rsp.Err != nil {
+		g.met.deadlineExceeded.Add(1)
+		rm.count(http.StatusGatewayTimeout)
+		rm.lat.observe(time.Since(start))
+		g.log.Debug("deadline exceeded", "route", route, "user", uint32(user), "query", uint32(query))
+		http.Error(w, "deadline exceeded", http.StatusGatewayTimeout)
+		return
+	}
+	items := rsp.Items
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if k, err := strconv.Atoi(ks); err == nil && k >= 0 && k < len(items) {
+			items = items[:k]
+		}
+	}
+	if rsp.Degraded {
+		g.met.degraded.Add(1)
+		w.Header().Set("X-Zoomer-Degraded", "1")
+	}
+	if bin {
+		g.writeBinary(w, rsp.Degraded, items)
+	} else {
+		g.writeJSON(w, user, query, rsp, items, start)
+	}
+	rm.count(http.StatusOK)
+	rm.lat.observe(time.Since(start))
+}
+
+func (g *Gateway) writeJSON(w http.ResponseWriter, user, query graph.NodeID, rsp serve.Response, items []ann.Result, start time.Time) {
+	reply := retrieveReply{
+		User:      uint32(user),
+		Query:     uint32(query),
+		Degraded:  rsp.Degraded,
+		LatencyUs: time.Since(start).Microseconds(),
+		Items:     make([]Item, len(items)),
+	}
+	for i, it := range items {
+		reply.Items[i] = Item{ID: it.ID, Score: it.Score}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&reply); err != nil {
+		g.log.Debug("response write failed", "err", err)
+	}
+}
+
+// Binary wire format (little-endian): magic "ZGR1", u8 flags (bit 0 =
+// degraded), u32 item count, then count × (u64 item id, f32 score).
+const binMagic = "ZGR1"
+
+func (g *Gateway) writeBinary(w http.ResponseWriter, degraded bool, items []ann.Result) {
+	buf := make([]byte, 0, len(binMagic)+1+4+len(items)*12)
+	buf = append(buf, binMagic...)
+	flags := byte(0)
+	if degraded {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(items)))
+	for _, it := range items {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(it.ID))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(it.Score))
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := w.Write(buf); err != nil {
+		g.log.Debug("response write failed", "err", err)
+	}
+}
+
+// DecodeBinary parses the binary wire format — the loadgen's (and any
+// native client's) counterpart to /v1/retrieve.bin.
+func DecodeBinary(b []byte) (items []Item, degraded bool, err error) {
+	if len(b) < len(binMagic)+5 || string(b[:4]) != binMagic {
+		return nil, false, errors.New("gateway: bad binary frame")
+	}
+	degraded = b[4]&1 != 0
+	n := binary.LittleEndian.Uint32(b[5:9])
+	if uint64(len(b)) != uint64(len(binMagic)+5)+uint64(n)*12 {
+		return nil, false, fmt.Errorf("gateway: binary frame length %d does not match %d items", len(b), n)
+	}
+	items = make([]Item, n)
+	off := 9
+	for i := range items {
+		items[i].ID = int64(binary.LittleEndian.Uint64(b[off:]))
+		items[i].Score = math.Float32frombits(binary.LittleEndian.Uint32(b[off+8:]))
+		off += 12
+	}
+	return items, degraded, nil
+}
+
+// IsDeadlineExceeded reports whether err is the typed per-request
+// deadline failure, at whatever layer it was noticed.
+func IsDeadlineExceeded(err error) bool { return errors.Is(err, engine.ErrDeadlineExceeded) }

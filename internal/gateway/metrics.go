@@ -1,0 +1,172 @@
+package gateway
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram upper bounds in seconds, log-spaced
+// from 250µs to 5s — sub-millisecond cache hits through multi-second
+// overload tails all land in a resolvable bucket. The +Inf bucket is
+// implicit.
+var latencyBounds = [...]float64{
+	0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters —
+// observation is lock-free and allocation-free.
+type histogram struct {
+	counts [len(latencyBounds) + 1]atomic.Int64 // last = +Inf
+	sum    atomic.Int64                         // nanoseconds
+	total  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBounds) && s > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.total.Add(1)
+}
+
+// write emits the histogram in Prometheus text exposition format as
+// cumulative le-labelled buckets.
+func (h *histogram) write(w io.Writer, name, route string) {
+	var cum int64
+	for i, le := range latencyBounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{route=%q,le=%q} %d\n", name, route, trimFloat(le), cum)
+	}
+	cum += h.counts[len(latencyBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{route=%q,le=\"+Inf\"} %d\n", name, route, cum)
+	fmt.Fprintf(w, "%s_sum{route=%q} %g\n", name, route, time.Duration(h.sum.Load()).Seconds())
+	fmt.Fprintf(w, "%s_count{route=%q} %d\n", name, route, h.total.Load())
+}
+
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}
+
+// statusCodes are the response codes the gateway can emit per route.
+// Index 0 must stay 200 — the QPS gauge reads it.
+var statusCodes = [...]int{200, 400, 503, 504}
+
+// routeMetrics is one route's request counters and latency histogram.
+type routeMetrics struct {
+	codes [len(statusCodes)]atomic.Int64
+	lat   histogram
+}
+
+func (rm *routeMetrics) count(code int) {
+	for i, c := range statusCodes {
+		if c == code {
+			rm.codes[i].Add(1)
+			return
+		}
+	}
+}
+
+// metrics is the gateway's observability surface: per-route request
+// counts by status code, per-route latency histograms, shed/degrade
+// counters, the live in-flight gauge, and a QPS gauge computed over the
+// interval between scrapes.
+type metrics struct {
+	routes   map[string]*routeMetrics
+	order    []string // stable output order
+	inflight *atomic.Int64
+
+	shedHard         atomic.Int64 // hard cap exceeded → 503
+	shedQueue        atomic.Int64 // serve queue full → 503
+	degraded         atomic.Int64 // cache-only answers served
+	deadlineExceeded atomic.Int64 // typed 504s
+	drainRejects     atomic.Int64 // refused while draining
+	start            time.Time
+	scrapeMu         sync.Mutex
+	lastScrape       time.Time
+	lastServedAtScan int64
+}
+
+func newMetrics(inflight *atomic.Int64, routes ...string) *metrics {
+	m := &metrics{
+		routes:   make(map[string]*routeMetrics, len(routes)),
+		order:    routes,
+		inflight: inflight,
+		start:    time.Now(),
+	}
+	for _, r := range routes {
+		m.routes[r] = &routeMetrics{}
+	}
+	m.lastScrape = m.start
+	return m
+}
+
+func (m *metrics) route(name string) *routeMetrics { return m.routes[name] }
+
+// served sums 200-coded responses across routes — the numerator of the
+// scrape-interval QPS gauge.
+func (m *metrics) served() int64 {
+	var n int64
+	for _, rm := range m.routes {
+		n += rm.codes[0].Load() // statusCodes[0] == 200
+	}
+	return n
+}
+
+// writeTo emits the whole exposition page.
+func (m *metrics) writeTo(w io.Writer) {
+	fmt.Fprintf(w, "# HELP zoomer_gateway_requests_total Requests by route and status code.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_gateway_requests_total counter\n")
+	for _, name := range m.order {
+		rm := m.routes[name]
+		for i, code := range statusCodes {
+			fmt.Fprintf(w, "zoomer_gateway_requests_total{route=%q,code=\"%d\"} %d\n", name, code, rm.codes[i].Load())
+		}
+	}
+	fmt.Fprintf(w, "# HELP zoomer_gateway_request_seconds End-to-end request latency.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_gateway_request_seconds histogram\n")
+	for _, name := range m.order {
+		m.routes[name].lat.write(w, "zoomer_gateway_request_seconds", name)
+	}
+	fmt.Fprintf(w, "# HELP zoomer_gateway_inflight In-flight requests right now.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_gateway_inflight gauge\n")
+	fmt.Fprintf(w, "zoomer_gateway_inflight %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP zoomer_gateway_shed_total Requests shed by admission control.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_gateway_shed_total counter\n")
+	fmt.Fprintf(w, "zoomer_gateway_shed_total{kind=\"inflight_cap\"} %d\n", m.shedHard.Load())
+	fmt.Fprintf(w, "zoomer_gateway_shed_total{kind=\"queue_full\"} %d\n", m.shedQueue.Load())
+	fmt.Fprintf(w, "zoomer_gateway_shed_total{kind=\"draining\"} %d\n", m.drainRejects.Load())
+	fmt.Fprintf(w, "# HELP zoomer_gateway_degraded_total Cache-only (shed-mode) answers served.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_gateway_degraded_total counter\n")
+	fmt.Fprintf(w, "zoomer_gateway_degraded_total %d\n", m.degraded.Load())
+	fmt.Fprintf(w, "# HELP zoomer_gateway_deadline_exceeded_total Requests answered with the typed deadline error.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_gateway_deadline_exceeded_total counter\n")
+	fmt.Fprintf(w, "zoomer_gateway_deadline_exceeded_total %d\n", m.deadlineExceeded.Load())
+
+	// QPS over the scrape interval: successful answers since the last
+	// /metrics read divided by the elapsed wall time. First scrape
+	// averages over the gateway's whole lifetime.
+	m.scrapeMu.Lock()
+	now := time.Now()
+	served := m.served()
+	elapsed := now.Sub(m.lastScrape).Seconds()
+	qps := 0.0
+	if elapsed > 0 {
+		qps = float64(served-m.lastServedAtScan) / elapsed
+	}
+	m.lastScrape = now
+	m.lastServedAtScan = served
+	m.scrapeMu.Unlock()
+	fmt.Fprintf(w, "# HELP zoomer_gateway_qps Successful answers per second over the last scrape interval.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_gateway_qps gauge\n")
+	fmt.Fprintf(w, "zoomer_gateway_qps %g\n", qps)
+	fmt.Fprintf(w, "# HELP zoomer_gateway_uptime_seconds Seconds since gateway start.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_gateway_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "zoomer_gateway_uptime_seconds %g\n", time.Since(m.start).Seconds())
+}

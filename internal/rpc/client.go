@@ -325,11 +325,46 @@ func (cl *Client) unavailable(err error) error {
 	return fmt.Errorf("%w: %s: %v", ErrShardUnavailable, cl.addr, err)
 }
 
+// deadlineExpired reports whether a non-zero deadline has passed.
+func deadlineExpired(deadline time.Time) bool {
+	return !time.Now().Before(deadline)
+}
+
+// errDeadline wraps the typed per-call deadline failure for this server.
+// It is not a transport failure: the circuit is not charged and the
+// engine neither fails over nor refreshes ownership for it.
+func (cl *Client) errDeadline() error {
+	return fmt.Errorf("rpc: %s: %w", cl.addr, engine.ErrDeadlineExceeded)
+}
+
+// budget returns the per-attempt I/O bound for a call carrying deadline:
+// the configured Timeout, shrunk to the remaining budget when that is
+// smaller. ok is false when the budget is already spent — the caller
+// must fail typed without touching the wire. The zero deadline always
+// returns the full Timeout without reading the clock.
+func (cl *Client) budget(deadline time.Time) (d time.Duration, ok bool) {
+	d = cl.cfg.Timeout
+	if deadline.IsZero() {
+		return d, true
+	}
+	rem := time.Until(deadline)
+	if rem <= 0 {
+		return 0, false
+	}
+	if rem < d {
+		d = rem
+	}
+	return d, true
+}
+
 // sample runs one OpSample request: k weighted draws for id, the
 // caller's RNG state travelling out and the advanced state travelling
-// back. n is k, or 0 for an isolated node. Hand-rolled (no closures) to
-// keep the hot path allocation-free.
-func (cl *Client) sample(id graph.NodeID, k int, st [4]uint64, out []graph.NodeID) (n int, newSt [4]uint64, err error) {
+// back. n is k, or 0 for an isolated node. A non-zero deadline shrinks
+// the per-attempt I/O bound to the remaining budget and converts
+// post-expiry failures into the typed deadline error (not charged to the
+// health circuit — a slow answer is not a dead server). Hand-rolled (no
+// closures) to keep the hot path allocation-free.
+func (cl *Client) sample(id graph.NodeID, k int, st [4]uint64, out []graph.NodeID, deadline time.Time) (n int, newSt [4]uint64, err error) {
 	probe, gerr := cl.gate()
 	if gerr != nil {
 		return 0, st, gerr
@@ -338,15 +373,26 @@ func (cl *Client) sample(id graph.NodeID, k int, st [4]uint64, out []graph.NodeI
 	failed := true
 	defer func() { cl.settle(probe, failed) }()
 	for attempt := 0; attempt < 2; attempt++ {
+		d, ok := cl.budget(deadline)
+		if !ok {
+			failed = false
+			return 0, st, cl.errDeadline()
+		}
 		mc, err := cl.conn()
 		if err != nil {
 			lastErr = err
 			continue
 		}
 		ct := getTimer()
-		sl, req, err := mc.acquire(OpSample, ct)
+		sl, req, err := mc.acquire(OpSample, ct, d)
 		if err != nil {
 			putTimer(ct)
+			if !deadline.IsZero() && deadlineExpired(deadline) {
+				// The window stayed full for the whole remaining budget:
+				// backpressure, not a dead peer. Nothing was sent.
+				failed = false
+				return 0, st, cl.errDeadline()
+			}
 			lastErr = err
 			continue
 		}
@@ -355,12 +401,16 @@ func (cl *Client) sample(id graph.NodeID, k int, st [4]uint64, out []graph.NodeI
 		for _, w := range st {
 			req = appendU64(req, w)
 		}
-		body, err := mc.roundTrip(sl, req, ct)
+		body, err := mc.roundTrip(sl, req, ct, d)
 		putTimer(ct)
 		if err != nil {
 			if permanent(err) {
 				failed = false
 				return 0, st, err
+			}
+			if !deadline.IsZero() && deadlineExpired(deadline) {
+				failed = false
+				return 0, st, fmt.Errorf("%v: %w", err, engine.ErrDeadlineExceeded)
 			}
 			lastErr = err
 			continue
@@ -442,12 +492,12 @@ func (cl *Client) batchAttempt(gids []graph.NodeID, idx []int32, base uint64, k 
 	}
 	ct := getTimer()
 	defer putTimer(ct)
-	sl, req, err := mc.acquire(OpBatch, ct)
+	sl, req, err := mc.acquire(OpBatch, ct, cl.cfg.Timeout)
 	if err != nil {
 		return 0, true, err
 	}
 	req = appendBatch(req, gids, idx, base, k)
-	body, err := mc.roundTrip(sl, req, ct)
+	body, err := mc.roundTrip(sl, req, ct, cl.cfg.Timeout)
 	if err != nil {
 		if permanent(err) {
 			return 0, false, err
@@ -594,7 +644,7 @@ func (p *pendingBatch) AwaitBatch() (int, error) {
 	case p.mc == nil:
 		transport, err = true, p.serr
 	default:
-		body, aerr := p.mc.await(p.sl, p.ct)
+		body, aerr := p.mc.await(p.sl, p.ct, cl.cfg.Timeout)
 		putTimer(p.ct)
 		if aerr != nil {
 			if permanent(aerr) {
@@ -647,7 +697,7 @@ func (cl *Client) call(op Op, encode func([]byte) []byte, decode func(body []byt
 			continue
 		}
 		ct := getTimer()
-		sl, req, err := mc.acquire(op, ct)
+		sl, req, err := mc.acquire(op, ct, cl.cfg.Timeout)
 		if err != nil {
 			putTimer(ct)
 			lastErr = err
@@ -656,7 +706,7 @@ func (cl *Client) call(op Op, encode func([]byte) []byte, decode func(body []byt
 		if encode != nil {
 			req = encode(req)
 		}
-		body, err := mc.roundTrip(sl, req, ct)
+		body, err := mc.roundTrip(sl, req, ct, cl.cfg.Timeout)
 		putTimer(ct)
 		if err != nil {
 			if permanent(err) {
@@ -846,10 +896,11 @@ type RemoteShard struct {
 // shard, and advertises the async seam the parallel scatter-gather path
 // prefers.
 var (
-	_ engine.ShardBackend   = (*RemoteShard)(nil)
-	_ engine.BackendStats   = (*RemoteShard)(nil)
-	_ engine.BatchStarter   = (*RemoteShard)(nil)
-	_ engine.HealthReporter = (*RemoteShard)(nil)
+	_ engine.ShardBackend    = (*RemoteShard)(nil)
+	_ engine.BackendStats    = (*RemoteShard)(nil)
+	_ engine.BatchStarter    = (*RemoteShard)(nil)
+	_ engine.HealthReporter  = (*RemoteShard)(nil)
+	_ engine.DeadlineSampler = (*RemoteShard)(nil)
 )
 
 // NewRemoteShard returns a stub for partition shard behind cl. nodes and
@@ -877,11 +928,24 @@ func (rs *RemoteShard) Healthy() bool { return rs.cl.Healthy() }
 // travels in the request and the advanced state is restored from the
 // response. On error r is not consumed and out is unspecified.
 func (rs *RemoteShard) SampleInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int, error) {
+	return rs.SampleIntoBy(id, out, r, time.Time{})
+}
+
+// SampleIntoBy is SampleInto bounded by a per-call deadline
+// (engine.DeadlineSampler). The remaining budget shrinks the wire
+// timeout for this one call; once spent, the call fails with the typed
+// engine.ErrDeadlineExceeded without consuming r and without charging
+// the client's health circuit. The zero deadline means unbounded and
+// costs no clock read.
+func (rs *RemoteShard) SampleIntoBy(id graph.NodeID, out []graph.NodeID, r *rng.RNG, deadline time.Time) (int, error) {
 	if len(out) == 0 {
 		return 0, nil
 	}
+	if !deadline.IsZero() && deadlineExpired(deadline) {
+		return 0, rs.cl.errDeadline()
+	}
 	rs.requests.Add(1)
-	n, st, err := rs.cl.sample(id, len(out), r.State(), out)
+	n, st, err := rs.cl.sample(id, len(out), r.State(), out, deadline)
 	if err != nil {
 		return 0, err
 	}

@@ -214,8 +214,12 @@ func (mc *muxConn) unlease() { mc.lease <- struct{}{} }
 // holder's own slot (sl == own) is not — the holder consumes the result
 // directly. A non-nil error obliges the caller to fail the connection;
 // any slot claimed by the failed read has its outcome recorded already.
-func (mc *muxConn) readOne(own *muxSlot) (mine bool, err error) {
-	mc.c.SetReadDeadline(time.Now().Add(mc.timeout))
+// d bounds the kernel read — the connection timeout, or the holder's
+// smaller per-call budget; either way a read-deadline expiry fails the
+// connection, so a shortened read changes when the teardown happens,
+// not whether it does.
+func (mc *muxConn) readOne(own *muxSlot, d time.Duration) (mine bool, err error) {
+	mc.c.SetReadDeadline(time.Now().Add(d))
 	if _, err := io.ReadFull(mc.br, mc.rhdr[:]); err != nil { // u32 length + u64 request id
 		return false, err
 	}
@@ -250,9 +254,13 @@ func (mc *muxConn) readOne(own *muxSlot) (mine bool, err error) {
 
 // acquire checks a free slot out of the window, composing the frame
 // prefix ([len hole | request id | op]) into the slot's request buffer.
-// It blocks while the window is full — backpressure, bounded by ct.
-func (mc *muxConn) acquire(op Op, ct *callTimer) (*muxSlot, []byte, error) {
-	idx, ok := mc.free.pop(ct.after(mc.timeout))
+// It blocks while the window is full — backpressure, bounded by ct
+// armed with d (the connection timeout, or a caller deadline's smaller
+// remaining budget). Failing to win a slot sends nothing, so a
+// deadline-bounded caller that times out here has not perturbed the
+// connection at all.
+func (mc *muxConn) acquire(op Op, ct *callTimer, d time.Duration) (*muxSlot, []byte, error) {
+	idx, ok := mc.free.pop(ct.after(d))
 	if !ok {
 		return nil, nil, errMuxTimeout
 	}
@@ -320,9 +328,16 @@ func (mc *muxConn) send(sl *muxSlot, req []byte) error {
 // caller releases the slot. A statusErr answer comes back as
 // *remoteError (connection healthy, slot already released); any
 // transport failure or timeout kills the connection, releases the slot
-// and returns the error.
-func (mc *muxConn) await(sl *muxSlot, ct *callTimer) ([]byte, error) {
-	tC := ct.after(mc.timeout)
+// and returns the error. d bounds the wait (the connection timeout, or a
+// caller deadline's smaller remaining budget); a request already on the
+// wire cannot be abandoned without orphaning its window slot, so a
+// deadline expiring mid-flight tears the connection down exactly like
+// the static timeout — the peer held a response past a caller's budget.
+// The lease holder's kernel reads stay bounded by the connection
+// timeout, so a short per-call budget can overshoot by at most one
+// read; the caller re-checks its deadline on return.
+func (mc *muxConn) await(sl *muxSlot, ct *callTimer, d time.Duration) ([]byte, error) {
+	tC := ct.after(d)
 	for {
 		select {
 		case <-sl.done:
@@ -333,7 +348,14 @@ func (mc *muxConn) await(sl *muxSlot, ct *callTimer) ([]byte, error) {
 			// Reader role: demultiplex frames — completing other
 			// callers' slots along the way — until our own response or
 			// a transport failure arrives. The kernel read deadline
-			// bounds this; the outer timer only covers the waits.
+			// bounds this — shrunk to the holder's own budget when that
+			// is smaller, so a deadline-bounded lease holder is not
+			// stuck in a read for the full connection timeout; the
+			// outer timer only covers the waits.
+			rd := mc.timeout
+			if d < rd {
+				rd = d
+			}
 			for {
 				select {
 				case <-sl.done: // completed just before we took the role
@@ -342,7 +364,7 @@ func (mc *muxConn) await(sl *muxSlot, ct *callTimer) ([]byte, error) {
 					return mc.finish(sl)
 				default:
 				}
-				mine, rerr := mc.readOne(sl)
+				mine, rerr := mc.readOne(sl, rd)
 				if rerr != nil {
 					mc.unlease()
 					mc.fail(rerr)
@@ -359,7 +381,7 @@ func (mc *muxConn) await(sl *muxSlot, ct *callTimer) ([]byte, error) {
 				}
 			}
 		case <-tC:
-			mc.fail(fmt.Errorf("%w after %v", errMuxTimeout, mc.timeout))
+			mc.fail(fmt.Errorf("%w after %v", errMuxTimeout, d))
 			<-sl.done
 			return mc.finish(sl)
 		}
@@ -406,12 +428,13 @@ func (mc *muxConn) finish(sl *muxSlot) ([]byte, error) {
 	return body[1:], nil
 }
 
-// roundTrip is send + await: the synchronous request cycle.
-func (mc *muxConn) roundTrip(sl *muxSlot, req []byte, ct *callTimer) ([]byte, error) {
+// roundTrip is send + await: the synchronous request cycle, bounded by d
+// (see await).
+func (mc *muxConn) roundTrip(sl *muxSlot, req []byte, ct *callTimer, d time.Duration) ([]byte, error) {
 	if err := mc.send(sl, req); err != nil {
 		return nil, err
 	}
-	return mc.await(sl, ct)
+	return mc.await(sl, ct, d)
 }
 
 // callTimer is a reusable timer for the two bounded waits of one call

@@ -92,7 +92,7 @@ func TestMuxInFlightFailure(t *testing.T) {
 		go func(seed uint64) {
 			out := make([]graph.NodeID, 4)
 			r := rng.New(seed)
-			_, _, err := cl.sample(graph.NodeID(seed), 4, r.State(), out)
+			_, _, err := cl.sample(graph.NodeID(seed), 4, r.State(), out, time.Time{})
 			errs <- err
 		}(uint64(w))
 	}
@@ -146,7 +146,7 @@ func TestMuxInFlightFailure(t *testing.T) {
 	deadline = time.Now().Add(5 * time.Second)
 	for {
 		var err error
-		n, st, err = cl.sample(id, 5, rr.State(), got)
+		n, st, err = cl.sample(id, 5, rr.State(), got, time.Time{})
 		if err == nil {
 			break
 		}

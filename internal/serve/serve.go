@@ -34,6 +34,7 @@
 package serve
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -349,6 +350,28 @@ func (c *NeighborCache) seg(id graph.NodeID) *cacheSegment {
 	return &c.segs[c.eng.ShardOf(id)*c.perShard+spread]
 }
 
+// GetCached returns the cached entry for id without filling on a miss
+// and without generating any backend work — not even an asynchronous
+// refresh. This is the shed path's cache-only read: under overload the
+// gateway degrades to whatever the cache already holds rather than
+// adding load to the engine. Returns nil on a miss; the caller Releases
+// a non-nil entry as usual.
+func (c *NeighborCache) GetCached(id graph.NodeID) *Entry {
+	seg := c.seg(id)
+	seg.mu.RLock()
+	e, ok := seg.entries[id]
+	if ok {
+		e.refs.Add(1)
+	}
+	seg.mu.RUnlock()
+	if !ok {
+		seg.misses.Add(1)
+		return nil
+	}
+	seg.hits.Add(1)
+	return e
+}
+
 // Get returns the cached neighbor entry for id, sampling synchronously
 // on a miss; the caller reads Neighbors() and calls Release when done.
 // Hits schedule an asynchronous refresh (best effort) and acquire the
@@ -361,6 +384,17 @@ func (c *NeighborCache) seg(id graph.NodeID) *cacheSegment {
 // degrades to an empty neighbor set (the embedder falls back to the
 // ego-only aggregate) rather than failing the request.
 func (c *NeighborCache) Get(id graph.NodeID, r *rng.RNG) *Entry {
+	return c.GetBy(id, r, time.Time{})
+}
+
+// GetBy is Get bounded by a per-request deadline: a synchronous miss
+// fill carries the deadline down into the engine (and from there into
+// the per-call RPC budget). When the budget runs out mid-fill the miss
+// degrades exactly like an outage — an empty neighbor set is installed
+// and the next hit's asynchronous refresh heals it — because every
+// coalesced waiter needs an entry regardless of whose deadline expired.
+// The zero deadline means unbounded.
+func (c *NeighborCache) GetBy(id graph.NodeID, r *rng.RNG, deadline time.Time) *Entry {
 	seg := c.seg(id)
 	seg.mu.RLock()
 	if e, ok := seg.entries[id]; ok {
@@ -395,7 +429,7 @@ func (c *NeighborCache) Get(id graph.NodeID, r *rng.RNG) *Entry {
 	seg.mu.Unlock()
 
 	seg.misses.Add(1)
-	n, err := c.eng.TrySampleNeighborsInto(id, e.buf[:c.k], r)
+	n, err := c.eng.TrySampleNeighborsIntoBy(id, e.buf[:c.k], r, deadline)
 	if err != nil {
 		n = 0 // shard unavailable: serve the request with no neighbors
 	}
@@ -455,20 +489,34 @@ type Server struct {
 	queue chan request
 	wg    sync.WaitGroup
 
-	served, dropped atomic.Int64
+	served, dropped, expired atomic.Int64
+}
+
+// Request is one retrieval request. The zero Deadline means unbounded.
+// CacheOnly is the shed mode: the worker answers from whatever the
+// neighbor cache already holds (possibly nothing) without generating
+// backend work, and marks the response Degraded.
+type Request struct {
+	User, Query graph.NodeID
+	Deadline    time.Time
+	CacheOnly   bool
 }
 
 type request struct {
-	user, query graph.NodeID
-	enqueued    time.Time
-	resp        chan Response
+	Request
+	enqueued time.Time
+	resp     chan Response
 }
 
 // Response is the retrieval result with end-to-end latency (queue wait
-// included).
+// included). Err is set — and Items empty — when the request's deadline
+// expired before it was answered (errors.Is(Err,
+// engine.ErrDeadlineExceeded)). Degraded marks a cache-only answer.
 type Response struct {
-	Items   []ann.Result
-	Latency time.Duration
+	Items    []ann.Result
+	Latency  time.Duration
+	Err      error
+	Degraded bool
 }
 
 // NewServer starts the worker pool. Close must be called.
@@ -499,11 +547,45 @@ func (s *Server) worker(seed uint64) {
 	sc := s.emb.NewScratch()
 	ssc := s.index.NewSearchScratch()
 	for req := range s.queue {
-		eu := s.cache.Get(req.user, r)
-		eq := s.cache.Get(req.query, r)
-		uq := s.emb.UserQuery(req.user, req.query, eu.Neighbors(), eq.Neighbors(), sc)
-		eu.Release()
-		eq.Release()
+		// A request whose deadline passed while it sat in the queue is
+		// answered typed, immediately — the caller has already given up,
+		// and skipping the cache reads and index search is the whole
+		// point of admission control: expired work must not consume
+		// worker time that live requests are queued behind.
+		if !req.Deadline.IsZero() && !time.Now().Before(req.Deadline) {
+			s.expired.Add(1)
+			req.resp <- Response{Err: engine.ErrDeadlineExceeded, Latency: time.Since(req.enqueued)}
+			continue
+		}
+		var eu, eq *Entry
+		if req.CacheOnly {
+			eu = s.cache.GetCached(req.User)
+			eq = s.cache.GetCached(req.Query)
+		} else {
+			eu = s.cache.GetBy(req.User, r, req.Deadline)
+			eq = s.cache.GetBy(req.Query, r, req.Deadline)
+		}
+		var nu, nq []graph.NodeID
+		if eu != nil {
+			nu = eu.Neighbors()
+		}
+		if eq != nil {
+			nq = eq.Neighbors()
+		}
+		uq := s.emb.UserQuery(req.User, req.Query, nu, nq, sc)
+		if eu != nil {
+			eu.Release()
+		}
+		if eq != nil {
+			eq.Release()
+		}
+		if !req.Deadline.IsZero() && !time.Now().Before(req.Deadline) {
+			// Expired during the miss fill: the index search would only
+			// delay the queue further for an answer nobody is waiting on.
+			s.expired.Add(1)
+			req.resp <- Response{Err: engine.ErrDeadlineExceeded, Latency: time.Since(req.enqueued)}
+			continue
+		}
 		found := s.index.SearchInto(uq, s.cfg.TopK, s.cfg.NProbe, ssc)
 		// The scratch-backed results are clobbered by the next request;
 		// the response escapes to the submitter, so copy once — the only
@@ -511,15 +593,23 @@ func (s *Server) worker(seed uint64) {
 		items := make([]ann.Result, len(found))
 		copy(items, found)
 		s.served.Add(1)
-		req.resp <- Response{Items: items, Latency: time.Since(req.enqueued)}
+		req.resp <- Response{Items: items, Latency: time.Since(req.enqueued), Degraded: req.CacheOnly}
 	}
 }
 
 // Submit enqueues a request; it returns false (drop) when the queue is
 // full — the overload behavior the RT-vs-QPS sweep exposes.
 func (s *Server) Submit(user, query graph.NodeID, resp chan Response) bool {
+	return s.SubmitReq(Request{User: user, Query: query}, resp)
+}
+
+// SubmitReq enqueues a full Request (deadline and shed mode included);
+// it returns false (drop) when the queue is full. Every accepted request
+// is answered on resp exactly once — expired ones with a typed Err — so
+// a caller that submitted successfully can always block on the reply.
+func (s *Server) SubmitReq(q Request, resp chan Response) bool {
 	select {
-	case s.queue <- request{user: user, query: query, enqueued: time.Now(), resp: resp}:
+	case s.queue <- request{Request: q, enqueued: time.Now(), resp: resp}:
 		return true
 	default:
 		s.dropped.Add(1)
@@ -527,36 +617,71 @@ func (s *Server) Submit(user, query graph.NodeID, resp chan Response) bool {
 	}
 }
 
+// Served reports the total requests answered with items (all time).
+func (s *Server) Served() int64 { return s.served.Load() }
+
+// Dropped reports the total queue-full rejections (all time).
+func (s *Server) Dropped() int64 { return s.dropped.Load() }
+
+// Expired reports the total requests answered typed after their
+// deadline passed (all time).
+func (s *Server) Expired() int64 { return s.expired.Load() }
+
 // Close drains and stops the workers.
 func (s *Server) Close() {
 	close(s.queue)
 	s.wg.Wait()
 }
 
-// LoadStats summarizes a load test.
+// LoadStats summarizes a load test. Dropped counts every request that
+// got no timely answer: queue-full rejections plus responses still
+// outstanding when the post-run drain timed out (the latter also
+// reported separately as TimedOut).
 type LoadStats struct {
 	OfferedQPS            float64
 	Served, Dropped       int64
+	TimedOut              int64
 	MeanRT, P50, P95, P99 time.Duration
 }
+
+// loadDrainTimeout bounds the post-submission wait for outstanding
+// responses; responses still missing then are counted into Dropped (and
+// TimedOut). A variable so tests can shorten the window.
+var loadDrainTimeout = 5 * time.Second
 
 // LoadTest offers an open-loop request stream at qps for the duration and
 // reports latency statistics. Requests are (user, query) pairs drawn from
 // the provided pools. Served and Dropped are deltas over this run —
 // counters are snapshotted at the start — so consecutive sweep points do
 // not double-count earlier runs.
-func LoadTest(s *Server, users, queries []graph.NodeID, qps float64, d time.Duration, seed uint64) LoadStats {
+//
+// Responses are collected concurrently with submission. The earlier
+// collect-after-submit design capped a run at the response buffer size:
+// past 65536 outstanding responses the buffer filled, workers blocked on
+// req.resp <- with requests aging in the queue behind them, and the
+// sweep reported that self-inflicted convoy as serving latency — exactly
+// the overload regime Fig. 9 is about. Now the buffer only has to absorb
+// the collector's scheduling jitter, not the whole run.
+//
+// A non-positive qps is rejected: the open-loop submitter derives its
+// inter-arrival gap from it, and a zero/negative gap busy-spins a core
+// while measuring nothing.
+func LoadTest(s *Server, users, queries []graph.NodeID, qps float64, d time.Duration, seed uint64) (LoadStats, error) {
+	if qps <= 0 {
+		return LoadStats{}, fmt.Errorf("serve: load test qps must be positive, got %g", qps)
+	}
 	served0, dropped0 := s.served.Load(), s.dropped.Load()
 	r := rng.New(seed)
 	interval := time.Duration(float64(time.Second) / qps)
 	deadline := time.Now().Add(d)
-	resp := make(chan Response, 65536)
+	resp := make(chan Response, 4096)
 
+	// sent is written only by the submitter; the collector reads it only
+	// after submitDone closes (the close is the happens-before edge).
 	var sent int64
-	var wg sync.WaitGroup
-	wg.Add(1)
+	submitDone := make(chan struct{})
 	go func() {
-		defer wg.Done()
+		defer close(submitDone)
 		next := time.Now()
 		for time.Now().Before(deadline) {
 			u := users[r.Intn(len(users))]
@@ -570,27 +695,49 @@ func LoadTest(s *Server, users, queries []graph.NodeID, qps float64, d time.Dura
 			}
 		}
 	}()
-	wg.Wait()
 
-	lats := make([]time.Duration, 0, sent)
-	timeout := time.After(5 * time.Second)
+	lats := make([]time.Duration, 0, 4096)
+	for submitting := true; submitting; {
+		select {
+		case rsp := <-resp:
+			lats = append(lats, rsp.Latency)
+		case <-submitDone:
+			submitting = false
+		}
+	}
+	var timedOut int64
+	drain := time.NewTimer(loadDrainTimeout)
 	for int64(len(lats)) < sent {
 		select {
 		case rsp := <-resp:
 			lats = append(lats, rsp.Latency)
-		case <-timeout:
-			// Stuck responses counted as drops.
-			goto done
+		case <-drain.C:
+			timedOut = sent - int64(len(lats))
+			// Keep a reaper on the channel so workers that do answer
+			// late never block on a full buffer and poison the next
+			// sweep point; it exits once the stragglers (if any) land.
+			go func(remaining int64) {
+				for i := int64(0); i < remaining; i++ {
+					<-resp
+				}
+			}(timedOut)
+		}
+		if timedOut > 0 {
+			break
 		}
 	}
-done:
+	drain.Stop()
+
 	st := LoadStats{
 		OfferedQPS: qps,
 		Served:     s.served.Load() - served0,
-		Dropped:    s.dropped.Load() - dropped0,
+		// Timed-out responses got no answer within the drain window;
+		// the caller experienced them as drops, so count them as such.
+		Dropped:  s.dropped.Load() - dropped0 + timedOut,
+		TimedOut: timedOut,
 	}
 	if len(lats) == 0 {
-		return st
+		return st, nil
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	var sum time.Duration
@@ -601,5 +748,5 @@ done:
 	st.P50 = lats[len(lats)/2]
 	st.P95 = lats[len(lats)*95/100]
 	st.P99 = lats[len(lats)*99/100]
-	return st
+	return st, nil
 }

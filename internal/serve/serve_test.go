@@ -167,7 +167,10 @@ func TestLoadTestProducesStats(t *testing.T) {
 	cfg.Workers = 2
 	srv := NewServer(h.emb, h.cache, h.index, cfg)
 	defer srv.Close()
-	st := LoadTest(srv, h.users, h.queries, 500, 200*time.Millisecond, 9)
+	st, err := LoadTest(srv, h.users, h.queries, 500, 200*time.Millisecond, 9)
+	if err != nil {
+		t.Fatalf("LoadTest: %v", err)
+	}
 	if st.Served == 0 {
 		t.Fatal("no requests served")
 	}
@@ -185,8 +188,14 @@ func TestLatencyGrowsWithLoad(t *testing.T) {
 	srv := NewServer(h.emb, h.cache, h.index, cfg)
 	defer srv.Close()
 
-	low := LoadTest(srv, h.users, h.queries, 200, 300*time.Millisecond, 10)
-	high := LoadTest(srv, h.users, h.queries, 50000, 300*time.Millisecond, 11)
+	low, err := LoadTest(srv, h.users, h.queries, 200, 300*time.Millisecond, 10)
+	if err != nil {
+		t.Fatalf("LoadTest: %v", err)
+	}
+	high, err := LoadTest(srv, h.users, h.queries, 50000, 300*time.Millisecond, 11)
+	if err != nil {
+		t.Fatalf("LoadTest: %v", err)
+	}
 	if low.Served == 0 || high.Served == 0 {
 		t.Skip("load generator starved; environment too slow")
 	}
@@ -331,8 +340,14 @@ func TestLoadTestReportsDeltas(t *testing.T) {
 	cfg.Workers = 2
 	srv := NewServer(h.emb, h.cache, h.index, cfg)
 	defer srv.Close()
-	first := LoadTest(srv, h.users, h.queries, 400, 200*time.Millisecond, 60)
-	second := LoadTest(srv, h.users, h.queries, 400, 200*time.Millisecond, 61)
+	first, err := LoadTest(srv, h.users, h.queries, 400, 200*time.Millisecond, 60)
+	if err != nil {
+		t.Fatalf("LoadTest: %v", err)
+	}
+	second, err := LoadTest(srv, h.users, h.queries, 400, 200*time.Millisecond, 61)
+	if err != nil {
+		t.Fatalf("LoadTest: %v", err)
+	}
 	// A cold or scheduler-starved first run makes the 2x heuristic below
 	// meaningless; only judge runs that got reasonably close to offered
 	// load (400 qps x 0.2 s = 80 requests).
