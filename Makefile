@@ -1,11 +1,12 @@
 # Tier-1 verification and perf tooling for the Zoomer reproduction.
 
-.PHONY: verify verify-purego test race chaos bench bench-compare docs-check compose-check gateway-smoke ci
+.PHONY: verify verify-purego test race chaos ingest-chaos bench bench-compare docs-check compose-check gateway-smoke ci
 
 # The full CI gate: tier-1 verify (both kernel dispatches), race hammer,
-# fault-injection suite, perf regression check, documentation link check,
-# deploy topology lint, and the multi-process gateway smoke run.
-ci: verify verify-purego race chaos bench-compare docs-check compose-check gateway-smoke
+# fault-injection suite, ingest crash-recovery equivalence, perf
+# regression check, documentation link check, deploy topology lint, and
+# the multi-process gateway smoke run.
+ci: verify verify-purego race chaos ingest-chaos bench-compare docs-check compose-check gateway-smoke
 
 # The tier-1 loop: vet + build + test. vet's asmdecl check covers the
 # AVX2 kernel frames in internal/tensor.
@@ -36,6 +37,14 @@ race:
 chaos:
 	go test -race -count=1 -run 'TestShardFailureAndReconnect|TestNoPartialResultsUnderChurn|TestClientPoolConcurrency|TestMuxInFlightFailure|TestMuxSharedConnectionHammer|TestKillReplicaMidBatch|TestZeroHealthyReplicasTyped|TestRollingUpgrade|TestMembershipDiscovery|TestRefreshSkipsStalledServer|TestReplicatedClusterSpreadsLoad|TestCircuit' ./internal/rpc/
 	go test -race -count=1 -run 'TestReplica' ./internal/engine/
+
+# Durable-ingest crash suite under the race detector: kill -9 a child
+# writer mid-append and prove WAL replay reconverges bit-identically
+# (torn tail, corrupt record and disk-full paths included), plus the
+# rpc-layer crash/restart, skew and replicated-append tests.
+ingest-chaos:
+	go test -race -count=1 -run 'TestWALCrashRecoveryEquivalence|TestWALTornTailTruncated|TestWALCorrupt|TestWALDiskFull' ./internal/ingest/
+	go test -race -count=1 -run 'TestAppendRecoveryAfterRestart|TestServingSurvivesWriterCrash|TestAppendWALWriteFailureKeepsServing|TestAppendIdempotencyAndResync|TestVersionSkew' ./internal/rpc/
 
 # Hot-path benchmarks -> BENCH_hotpath.json (perf trajectory across PRs).
 bench:

@@ -51,6 +51,10 @@ go test -run '^$' -bench 'BenchmarkRPCRoundTrip|BenchmarkRemoteBatch$|BenchmarkR
 # and steady-state draws with one replica dead.
 go test -run '^$' -bench 'BenchmarkFailoverFirstDraw' -benchtime 50x -count 1 ./internal/rpc/ 2>/dev/null | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkFailoverDeadReplica' -benchmem -count "$COUNT" ./internal/rpc/ 2>/dev/null | tee -a "$TMP" >&2
+# Write path: WAL append throughput (fsync-batched group commit) and the
+# delta layer — copy-on-write apply and post-compaction mixture draws.
+go test -run '^$' -bench 'BenchmarkWALAppend' -benchmem -count "$COUNT" ./internal/ingest/ | tee -a "$TMP" >&2
+go test -run '^$' -bench 'BenchmarkDeltaApply|BenchmarkDeltaSample' -benchmem -count "$COUNT" ./internal/engine/ | tee -a "$TMP" >&2
 go test -run '^$' -bench 'BenchmarkAblationAlias' -benchmem -count "$COUNT" . | tee -a "$TMP" >&2
 
 # Fold "BenchmarkName  N  x ns/op  y B/op  z allocs/op" lines into JSON,

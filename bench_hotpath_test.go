@@ -8,6 +8,7 @@ import (
 	"zoomer/internal/engine"
 	"zoomer/internal/graph"
 	"zoomer/internal/graphbuild"
+	"zoomer/internal/ingest"
 	"zoomer/internal/loggen"
 	"zoomer/internal/rng"
 	"zoomer/internal/sampling"
@@ -168,6 +169,41 @@ func BenchmarkHotPathSampleTree(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = w.eng.SampleTree(ego, 2, 10, r, bs)
+	}
+}
+
+// BenchmarkHotPathDeltaSample measures the lock-free sampler against
+// nodes carrying live delta overlays — the post-ingest read hot path,
+// base alias table mixed with appended edges. Must report 0 allocs/op:
+// installing delta segments must not push the read path onto the heap.
+func BenchmarkHotPathDeltaSample(b *testing.B) {
+	w := buildHotPathWorld(b)
+	r := rng.New(6)
+	ids := make([]graph.NodeID, 256)
+	for i := range ids {
+		ids[i] = graph.NodeID(r.Intn(w.g.NumNodes()))
+	}
+	// Land appended edges on every sampled node (several batches, so some
+	// overlays are compacted into alias tables and some stay raw).
+	for round := 0; round < 4; round++ {
+		batch := make([]ingest.Edge, 0, len(ids))
+		for i, id := range ids {
+			batch = append(batch, ingest.Edge{
+				Src:    id,
+				Dst:    graph.NodeID((int(id) + i + round + 1) % w.g.NumNodes()),
+				Type:   graph.Click,
+				Weight: 1 + float32(round),
+			})
+		}
+		if _, err := w.eng.Append(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	buf := make([]graph.NodeID, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.eng.SampleNeighborsInto(ids[i%len(ids)], buf, r)
 	}
 }
 

@@ -15,8 +15,9 @@
 //	GET /v1/retrieve?user=U&query=Q[&k=K][&deadline_ms=D]   JSON answer
 //	GET /v1/retrieve?rand=1                                 gateway picks the pair
 //	GET /v1/retrieve.bin?...                                binary answer (ZGR1 frame)
+//	POST /v1/append                                         JSON edge batch into the delta layer
 //	GET /healthz                                            200 ok / 503 draining
-//	GET /metrics                                            Prometheus text format
+//	GET /metrics                                            Prometheus text format (incl. ingest rows)
 //
 // SIGINT/SIGTERM starts the graceful drain: healthz flips to 503, new
 // retrievals are refused, in-flight requests finish, then the HTTP
@@ -95,6 +96,11 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		Logger:          log,
 	})
+	// The write path: POST /v1/append feeds the engine's delta layer
+	// (journaled + replicated when the shards run with -wal-dir) and
+	// invalidates cached neighbor lists for the touched source nodes.
+	// The stack is the facet so remote ingest rows are polled live.
+	gw.EnableIngest(stack, stack.Cache)
 
 	httpSrv := &http.Server{Addr: *listen, Handler: gw.Handler()}
 	done := make(chan struct{})

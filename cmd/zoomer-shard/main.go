@@ -15,11 +15,26 @@
 // -out) instead of regenerated, so every server — and the serving tier —
 // is guaranteed the identical graph.
 //
-// The wire protocol (version 3) multiplexes many in-flight requests per
+// The wire protocol (version 4) multiplexes many in-flight requests per
 // connection; -rpc-workers bounds how many of one connection's requests
 // are dispatched concurrently and -rpc-window how many may queue behind
 // them. A client that speaks the old one-request-per-connection protocol
 // is rejected loudly at the preface handshake.
+//
+// # Durable ingestion
+//
+// With -wal-dir the server journals every accepted graph-append to a
+// per-shard write-ahead log under that directory and replays it on
+// startup (and on admin acquire), so a crash — kill -9 included — loses
+// nothing that was acknowledged. -fsync (default true) syncs each
+// group-committed batch before acknowledging; with -fsync=false
+// durability is bounded by the OS page cache (a process crash still
+// loses nothing; a machine crash loses the tail):
+//
+//	zoomer-shard -own 0,1 -listen :7001 -wal-dir /var/lib/zoomer/wal
+//
+// Without -wal-dir appends are accepted into the in-memory delta layer
+// only — durability then rests on replica-group siblings.
 //
 // # Replicas and dynamic membership
 //
@@ -93,6 +108,8 @@ func main() {
 	locality := flag.Bool("locality", true, "BFS-reorder each shard's rows for cache locality (must match across the cluster)")
 	rpcWorkers := flag.Int("rpc-workers", 0, "concurrent request dispatch per connection (0 = default 4)")
 	rpcWindow := flag.Int("rpc-window", 0, "buffered requests per connection before the read loop blocks (0 = default 64)")
+	walDir := flag.String("wal-dir", "", "journal graph-appends to per-shard WALs under this directory (replayed on startup)")
+	fsync := flag.Bool("fsync", true, "with -wal-dir: fsync each group-committed append before acknowledging")
 	advertise := flag.String("advertise", "", "address to announce to the cluster (enables membership + replica placement)")
 	join := flag.String("join", "", "comma-separated addresses of live cluster members to announce to at startup (requires -advertise)")
 	admin := flag.String("admin", "", "admin mode: address of a running zoomer-shard to command instead of serving")
@@ -172,6 +189,8 @@ func main() {
 		Advertise:   *advertise,
 		ConnWorkers: *rpcWorkers,
 		ConnWindow:  *rpcWindow,
+		WALDir:      *walDir,
+		Fsync:       *fsync,
 	})
 	if err := srv.ListenAndServe(*listen); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -179,6 +198,15 @@ func main() {
 	}
 	fmt.Printf("serving shards %v of %d on %s (%d replicas each)\n",
 		srv.OwnedShards(), *shards, srv.Addr(), *replicas)
+	if *walDir != "" {
+		for _, st := range srv.IngestStats() {
+			if st.Seq > 0 {
+				fmt.Printf("  shard %d WAL replayed to seq %d (%d delta edges, %d segments)\n",
+					st.Shard, st.Seq, st.DeltaEdges, st.WALSegments)
+			}
+		}
+		fmt.Printf("journaling appends under %s (fsync %v)\n", *walDir, *fsync)
+	}
 	if *join != "" {
 		for _, peer := range strings.Split(*join, ",") {
 			peer = strings.TrimSpace(peer)
@@ -272,6 +300,10 @@ func runAdmin(addr, acquire, release string, status bool, timeout time.Duration,
 		fmt.Printf("%s routing epoch %d, %d partitions:\n", addr, epoch, len(owned))
 		for _, sh := range owned {
 			fmt.Printf("  partition %d: %d nodes, %d edges\n", sh.ID, sh.Nodes, sh.Edges)
+			if ing := sh.Ingest; ing != nil && ing.Seq > 0 {
+				fmt.Printf("    ingest: seq %d, %d delta edges over %d nodes, %d compactions, %d WAL segments, %d fsyncs\n",
+					ing.Seq, ing.DeltaEdges, ing.DeltaNodes, ing.Compactions, ing.WALSegments, ing.Fsyncs)
+			}
 		}
 		if len(members) > 0 {
 			fmt.Printf("  members: %s\n", strings.Join(members, ", "))

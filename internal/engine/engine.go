@@ -43,10 +43,12 @@ package engine
 import (
 	"errors"
 	"fmt"
+
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+	"zoomer/internal/ingest"
 
 	"zoomer/internal/graph"
 	"zoomer/internal/partition"
@@ -983,4 +985,81 @@ func (e *Engine) Stats() Stats {
 		st.Imbalance = float64(maxShard) / mean
 	}
 	return st
+}
+
+// Append routes an edge batch to the owning shards' write facets and
+// returns the number of edges applied. Edges are grouped by owner
+// (shard order, so multi-shard batches apply deterministically) and each
+// group rides the same epoch-checked retry/failover loop as reads: a
+// moved shard refreshes the ownership view, an unreachable primary
+// fails over to a replica-group sibling (whose server re-replicates).
+// On error the earlier groups may already be applied — appends are
+// idempotent at the sequence layer, so the caller simply retries.
+func (e *Engine) Append(edges []ingest.Edge) (int, error) {
+	if len(edges) == 0 {
+		return 0, nil
+	}
+	numShards := e.routing.NumShards()
+	groups := make([][]ingest.Edge, numShards)
+	for _, ed := range edges {
+		if ed.Src < 0 || int(ed.Src) >= e.numNodes {
+			return 0, fmt.Errorf("%w: src %d out of range [0, %d)", ErrBadAppend, ed.Src, e.numNodes)
+		}
+		si := e.routing.Owner(ed.Src)
+		groups[si] = append(groups[si], ed)
+	}
+	appended := 0
+	for si, batch := range groups {
+		if len(batch) == 0 {
+			continue
+		}
+		if _, err := appendShard(e, si, batch); err != nil {
+			return appended, err
+		}
+		appended += len(batch)
+	}
+	return appended, nil
+}
+
+// appendShard writes one owner-grouped batch through the partition's
+// EdgeAppender facet — retryRead's write sibling.
+func appendShard(e *Engine, si int, batch []ingest.Edge) (uint64, error) {
+	call := func(be ShardBackend) (uint64, error) {
+		ap, ok := be.(EdgeAppender)
+		if !ok {
+			return 0, fmt.Errorf("engine: shard %d: %w", si, ErrAppendUnsupported)
+		}
+		return ap.AppendEdges(batch)
+	}
+	set := e.bset.Load()
+	v, failover, err := readShard(set, si, call)
+	for retry := 0; retry < maxEpochRetries && err != nil && retryable(err) && e.refresh(set); retry++ {
+		set = e.bset.Load()
+		v, failover, err = readShard(set, si, call)
+	}
+	if failover && err == nil {
+		e.kickRefresh(set)
+	}
+	return v, err
+}
+
+// IngestStats reports the write-path state of every partition whose
+// primary backend exposes the IngestReporter facet (in-process shards
+// always do; remote stubs once their server spoke).
+func (e *Engine) IngestStats() []IngestStats {
+	set := e.bset.Load()
+	out := make([]IngestStats, 0, len(set.backends))
+	for si, be := range set.backends {
+		ir, ok := be.(IngestReporter)
+		if !ok {
+			continue
+		}
+		st, ok := ir.IngestStats()
+		if !ok {
+			continue
+		}
+		st.Shard = si
+		out = append(out, st)
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"zoomer/internal/alias"
@@ -14,10 +15,13 @@ import (
 // internal/partition plus flat alias arrays aligned with the shard's own
 // edge array (node with local index li has its table in
 // prob/alias[Offsets[li]:Offsets[li+1]], alias indices local to the
-// adjacency). All state is immutable after New and read without locks;
-// replicas carry only atomic load counters. Shard implements GraphService
-// for global node ids it owns — calls for foreign ids are a routing bug
-// and will read another node's rows or index out of range.
+// adjacency). The base arrays are immutable after New and read without
+// locks; replicas carry only atomic load counters. Online appends layer
+// per-node overlays on top via the atomically swapped delta view (see
+// delta.go) — the read path loads it once per call and never locks.
+// Shard implements GraphService for global node ids it owns — calls for
+// foreign ids are a routing bug and will read another node's rows or
+// index out of range.
 type Shard struct {
 	id    int
 	part  *partition.Partition
@@ -28,6 +32,11 @@ type Shard struct {
 	// tableCount counts adjacencies with a table (degree > 0); atomic only
 	// because chunks of one shard build concurrently during New.
 	tableCount atomic.Int64
+
+	// delta is the current overlay snapshot (nil before any append);
+	// deltaMu serializes writers only.
+	delta   atomic.Pointer[deltaView]
+	deltaMu sync.Mutex
 
 	replicas []*replica
 	rr       atomic.Uint32 // round-robin replica cursor
@@ -101,17 +110,26 @@ func (s *Shard) pick() *replica {
 	return s.replicas[int(n)%len(s.replicas)]
 }
 
-// degree returns the out-degree of an owned node.
+// degree returns the out-degree of an owned node, appended edges
+// included.
 func (s *Shard) degree(id graph.NodeID) int {
 	li := s.part.Local(id)
-	return int(s.store.Offsets[li+1] - s.store.Offsets[li])
+	return int(s.store.Offsets[li+1]-s.store.Offsets[li]) + s.deltaDegree(id)
 }
 
-// Neighbors returns the adjacency list of an owned node (immutable view
-// into the shard's CSR slice; no lock needed).
+// Neighbors returns the adjacency list of an owned node. Without live
+// deltas this is an immutable zero-copy view into the shard's CSR
+// slice; a node with appended edges gets a freshly built combined copy.
 func (s *Shard) Neighbors(id graph.NodeID) []graph.Edge {
 	li := s.part.Local(id)
-	return s.store.Edges[s.store.Offsets[li]:s.store.Offsets[li+1]]
+	base := s.store.Edges[s.store.Offsets[li]:s.store.Offsets[li+1]]
+	ov := s.overlayFor(id)
+	if ov == nil {
+		return base
+	}
+	out := make([]graph.Edge, 0, len(base)+len(ov.all))
+	out = append(out, base...)
+	return append(out, ov.all...)
 }
 
 // Content returns the node's content vector.
@@ -132,6 +150,18 @@ func (s *Shard) Features(id graph.NodeID) []int32 {
 func (s *Shard) SampleNeighborsInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) int {
 	li := s.part.Local(id)
 	lo, hi := s.store.Offsets[li], s.store.Offsets[li+1]
+	// The overlay check precedes the isolated-node early return: a node
+	// born isolated can gain edges online.
+	if dv := s.delta.Load(); dv != nil {
+		if ov := dv.overlays[id]; ov != nil {
+			if len(out) == 0 {
+				return 0
+			}
+			s.pick().requests.Add(1)
+			s.sampleOverlay(ov, lo, hi, out, r)
+			return len(out)
+		}
+	}
 	if lo == hi || len(out) == 0 {
 		return 0
 	}
@@ -158,12 +188,22 @@ func (s *Shard) SampleInto(id graph.NodeID, out []graph.NodeID, r *rng.RNG) (int
 // partition returns bit-identical draws. No heap allocation.
 func (s *Shard) SampleBatchInto(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) (int, error) {
 	s.pick().requests.Add(int64(len(gids)))
+	dv := s.delta.Load()
 	var sub rng.RNG
 	total := 0
 	for j, id := range gids {
 		i := int(idx[j])
 		li := s.part.Local(id)
 		lo, hi := s.store.Offsets[li], s.store.Offsets[li+1]
+		if dv != nil {
+			if ov := dv.overlays[id]; ov != nil {
+				sub.Reseed(entrySeed(base, i))
+				s.sampleOverlay(ov, lo, hi, out[i*k:(i+1)*k], &sub)
+				ns[i] = int32(k)
+				total += k
+				continue
+			}
+		}
 		if lo == hi {
 			ns[i] = 0
 			continue

@@ -42,6 +42,7 @@ import (
 	"zoomer/internal/ann"
 	"zoomer/internal/engine"
 	"zoomer/internal/graph"
+	"zoomer/internal/ingest"
 	"zoomer/internal/rng"
 	"zoomer/internal/serve"
 )
@@ -103,6 +104,24 @@ type Gateway struct {
 
 	pickMu sync.Mutex
 	pick   *rng.RNG
+
+	// write path (nil until EnableIngest): the engine facet appends go
+	// through, and the cache invalidated after each accepted batch.
+	app   Appender
+	cache *serve.NeighborCache
+}
+
+// Appender is the write-path facet the gateway needs from the engine:
+// route an edge batch to the owning shards (idempotently, over the
+// durable append op when the shards are remote).
+type Appender interface {
+	Append(edges []ingest.Edge) (int, error)
+}
+
+// ingestReporter is the optional stats facet of an Appender; the engine
+// implements it, and /metrics exposes the rows when available.
+type ingestReporter interface {
+	IngestStats() []engine.IngestStats
 }
 
 // New wires a gateway over a running serve.Server. users/queries are
@@ -119,9 +138,22 @@ func New(srv *serve.Server, users, queries []graph.NodeID, numNodes int, cfg Con
 		log:      cfg.Logger,
 		pick:     rng.New(0x9e3779b97f4a7c15),
 	}
-	g.met = newMetrics(&g.inflight, "retrieve", "retrieve_bin")
+	g.met = newMetrics(&g.inflight, "retrieve", "retrieve_bin", "append")
 	g.respPool.New = func() any { return make(chan serve.Response, 1) }
 	return g
+}
+
+// EnableIngest turns on the write path: POST /v1/append routes batches
+// through app, and — when cache is non-nil — each accepted batch's
+// source nodes are invalidated so cached neighbor samples heal to the
+// new adjacency. When app also reports ingest stats (the engine does),
+// /metrics gains the per-shard write-path rows.
+func (g *Gateway) EnableIngest(app Appender, cache *serve.NeighborCache) {
+	g.app = app
+	g.cache = cache
+	if ir, ok := app.(ingestReporter); ok {
+		g.met.ingest = ir.IngestStats
+	}
 }
 
 // Handler returns the route table: /v1/retrieve (JSON), /v1/retrieve.bin
@@ -134,6 +166,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/v1/retrieve.bin", func(w http.ResponseWriter, r *http.Request) {
 		g.handleRetrieve(w, r, true)
 	})
+	mux.HandleFunc("/v1/append", g.handleAppend)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.HandleFunc("/metrics", g.handleMetrics)
 	return mux
@@ -313,6 +346,119 @@ func (g *Gateway) handleRetrieve(w http.ResponseWriter, r *http.Request, bin boo
 		g.writeBinary(w, rsp.Degraded, items)
 	} else {
 		g.writeJSON(w, user, query, rsp, items, start)
+	}
+	rm.count(http.StatusOK)
+	rm.lat.observe(time.Since(start))
+}
+
+// appendEdge is one edge of a POST /v1/append request body.
+type appendEdge struct {
+	Src    uint32  `json:"src"`
+	Dst    uint32  `json:"dst"`
+	Type   uint8   `json:"type"`
+	Weight float32 `json:"weight"`
+}
+
+// appendRequest is the POST /v1/append body.
+type appendRequest struct {
+	Edges []appendEdge `json:"edges"`
+}
+
+// appendReply is the POST /v1/append answer.
+type appendReply struct {
+	Appended  int   `json:"appended"`
+	LatencyUs int64 `json:"latency_us"`
+}
+
+// maxAppendBody bounds the request body: at ~45 bytes of JSON per edge
+// this admits batches far past ingest.MaxRecordEdges, so the engine's
+// own validation — not the transport — is what rejects oversized work.
+const maxAppendBody = 4 << 20
+
+// handleAppend is the durable write front door: decode the batch, route
+// it through the engine's idempotent append path, invalidate the cached
+// neighbor samples of the touched source nodes. Appends share the
+// retrieval tier's admission control (draining refusal and the hard
+// in-flight cap) but never degrade to cache-only — a write either lands
+// durably or fails typed.
+func (g *Gateway) handleAppend(w http.ResponseWriter, r *http.Request) {
+	rm := g.met.route("append")
+	start := time.Now()
+	if g.app == nil {
+		rm.count(http.StatusNotFound)
+		http.Error(w, "ingest not enabled", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		rm.count(http.StatusMethodNotAllowed)
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "append requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	if g.draining.Load() {
+		g.met.drainRejects.Add(1)
+		rm.count(http.StatusServiceUnavailable)
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	n := g.inflight.Add(1)
+	defer g.inflight.Add(-1)
+	if n > int64(g.cfg.MaxInFlight) {
+		g.met.shedHard.Add(1)
+		rm.count(http.StatusServiceUnavailable)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded: in-flight cap reached", http.StatusServiceUnavailable)
+		return
+	}
+
+	var req appendRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxAppendBody)).Decode(&req); err != nil {
+		rm.count(http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("bad append body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Edges) == 0 {
+		rm.count(http.StatusBadRequest)
+		http.Error(w, "append body holds no edges", http.StatusBadRequest)
+		return
+	}
+	edges := make([]ingest.Edge, len(req.Edges))
+	for i, e := range req.Edges {
+		edges[i] = ingest.Edge{
+			Src:    graph.NodeID(e.Src),
+			Dst:    graph.NodeID(e.Dst),
+			Type:   graph.EdgeType(e.Type),
+			Weight: e.Weight,
+		}
+	}
+
+	appended, err := g.app.Append(edges)
+	if err != nil {
+		switch {
+		case errors.Is(err, engine.ErrBadAppend):
+			rm.count(http.StatusBadRequest)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		case errors.Is(err, engine.ErrShardUnavailable):
+			rm.count(http.StatusServiceUnavailable)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shard unavailable", http.StatusServiceUnavailable)
+		default:
+			rm.count(http.StatusInternalServerError)
+			g.log.Error("append failed", "err", err, "edges", len(edges))
+			http.Error(w, "append failed", http.StatusInternalServerError)
+		}
+		rm.lat.observe(time.Since(start))
+		return
+	}
+	g.met.appendedEdges.Add(int64(appended))
+	if g.cache != nil {
+		for _, e := range edges {
+			g.cache.InvalidateNodes(e.Src)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(&appendReply{Appended: appended, LatencyUs: time.Since(start).Microseconds()}); err != nil {
+		g.log.Debug("response write failed", "err", err)
 	}
 	rm.count(http.StatusOK)
 	rm.lat.observe(time.Since(start))

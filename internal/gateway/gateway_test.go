@@ -59,6 +59,7 @@ func buildGateway(t testing.TB, cfg Config) (*Gateway, *httptest.Server) {
 
 	gw := New(srv, res.Graph.NodesOfType(graph.User), res.Graph.NodesOfType(graph.Query),
 		res.Graph.NumNodes(), cfg)
+	gw.EnableIngest(eng, cache)
 	ts := httptest.NewServer(gw.Handler())
 	t.Cleanup(ts.Close)
 	return gw, ts

@@ -6,6 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"zoomer/internal/engine"
+	"zoomer/internal/ingest"
 )
 
 // latencyBounds are the histogram upper bounds in seconds, log-spaced
@@ -54,9 +57,68 @@ func trimFloat(f float64) string {
 	return fmt.Sprintf("%g", f)
 }
 
+// writeIngest emits the per-shard write-path rows when an ingest source
+// is wired: WAL sequence (= ingest epoch), delta overlay sizes,
+// compaction counters, WAL segment counts, and the fsync latency
+// histogram in cumulative le-labelled form.
+func (m *metrics) writeIngest(w io.Writer) {
+	if m.ingest == nil {
+		return
+	}
+	rows := m.ingest()
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP zoomer_ingest_seq Last applied append sequence per shard (the ingest epoch).\n")
+	fmt.Fprintf(w, "# TYPE zoomer_ingest_seq gauge\n")
+	for _, st := range rows {
+		fmt.Fprintf(w, "zoomer_ingest_seq{shard=\"%d\"} %d\n", st.Shard, st.Seq)
+	}
+	fmt.Fprintf(w, "# HELP zoomer_ingest_delta_nodes Nodes with a live delta overlay per shard.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_ingest_delta_nodes gauge\n")
+	for _, st := range rows {
+		fmt.Fprintf(w, "zoomer_ingest_delta_nodes{shard=\"%d\"} %d\n", st.Shard, st.DeltaNodes)
+	}
+	fmt.Fprintf(w, "# HELP zoomer_ingest_delta_edges Appended edges in the current delta view per shard.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_ingest_delta_edges gauge\n")
+	for _, st := range rows {
+		fmt.Fprintf(w, "zoomer_ingest_delta_edges{shard=\"%d\"} %d\n", st.Shard, st.DeltaEdges)
+	}
+	fmt.Fprintf(w, "# HELP zoomer_ingest_compactions_total Alias-table compactions per shard.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_ingest_compactions_total counter\n")
+	for _, st := range rows {
+		fmt.Fprintf(w, "zoomer_ingest_compactions_total{shard=\"%d\"} %d\n", st.Shard, st.Compactions)
+	}
+	fmt.Fprintf(w, "# HELP zoomer_ingest_wal_segments WAL segment files per shard (0 = no WAL).\n")
+	fmt.Fprintf(w, "# TYPE zoomer_ingest_wal_segments gauge\n")
+	for _, st := range rows {
+		fmt.Fprintf(w, "zoomer_ingest_wal_segments{shard=\"%d\"} %d\n", st.Shard, st.WALSegments)
+	}
+	fmt.Fprintf(w, "# HELP zoomer_ingest_fsync_seconds WAL fsync latency per shard.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_ingest_fsync_seconds histogram\n")
+	for _, st := range rows {
+		if st.FsyncHist == nil {
+			continue
+		}
+		var cum uint64
+		for i, le := range ingest.FsyncBounds {
+			if i < len(st.FsyncHist) {
+				cum += st.FsyncHist[i]
+			}
+			fmt.Fprintf(w, "zoomer_ingest_fsync_seconds_bucket{shard=\"%d\",le=%q} %d\n", st.Shard, trimFloat(le), cum)
+		}
+		if len(st.FsyncHist) > len(ingest.FsyncBounds) {
+			cum += st.FsyncHist[len(ingest.FsyncBounds)]
+		}
+		fmt.Fprintf(w, "zoomer_ingest_fsync_seconds_bucket{shard=\"%d\",le=\"+Inf\"} %d\n", st.Shard, cum)
+		fmt.Fprintf(w, "zoomer_ingest_fsync_seconds_sum{shard=\"%d\"} %g\n", st.Shard, time.Duration(st.FsyncNanos).Seconds())
+		fmt.Fprintf(w, "zoomer_ingest_fsync_seconds_count{shard=\"%d\"} %d\n", st.Shard, st.Fsyncs)
+	}
+}
+
 // statusCodes are the response codes the gateway can emit per route.
 // Index 0 must stay 200 — the QPS gauge reads it.
-var statusCodes = [...]int{200, 400, 503, 504}
+var statusCodes = [...]int{200, 400, 404, 405, 500, 503, 504}
 
 // routeMetrics is one route's request counters and latency histogram.
 type routeMetrics struct {
@@ -87,7 +149,12 @@ type metrics struct {
 	degraded         atomic.Int64 // cache-only answers served
 	deadlineExceeded atomic.Int64 // typed 504s
 	drainRejects     atomic.Int64 // refused while draining
-	start            time.Time
+	appendedEdges    atomic.Int64 // edges accepted through /v1/append
+	// ingest, when set, supplies the per-shard write-path rows (WAL
+	// sequence, delta sizes, compactions, fsync latency) scraped live
+	// from the engine on each /metrics read.
+	ingest func() []engine.IngestStats
+	start  time.Time
 	scrapeMu         sync.Mutex
 	lastScrape       time.Time
 	lastServedAtScan int64
@@ -148,6 +215,10 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintf(w, "# HELP zoomer_gateway_deadline_exceeded_total Requests answered with the typed deadline error.\n")
 	fmt.Fprintf(w, "# TYPE zoomer_gateway_deadline_exceeded_total counter\n")
 	fmt.Fprintf(w, "zoomer_gateway_deadline_exceeded_total %d\n", m.deadlineExceeded.Load())
+	fmt.Fprintf(w, "# HELP zoomer_gateway_appended_edges_total Edges accepted through /v1/append.\n")
+	fmt.Fprintf(w, "# TYPE zoomer_gateway_appended_edges_total counter\n")
+	fmt.Fprintf(w, "zoomer_gateway_appended_edges_total %d\n", m.appendedEdges.Load())
+	m.writeIngest(w)
 
 	// QPS over the scrape interval: successful answers since the last
 	// /metrics read divided by the elapsed wall time. First scrape

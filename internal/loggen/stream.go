@@ -1,0 +1,109 @@
+package loggen
+
+import "zoomer/internal/rng"
+
+// Interaction is one live arrival from the synthetic feed: a user posing
+// a query and clicking an item — the same three-edge pattern graphbuild
+// lays down at build time (user—query, query—item, and a session edge
+// from the previous click when there is one).
+type Interaction struct {
+	User  int
+	Query int
+	Item  int
+	// PrevItem is the item clicked immediately before this one under the
+	// same query event, or -1 for the first click (no session edge).
+	PrevItem int
+	// Topic is the ground-truth intent (not visible to models).
+	Topic int
+}
+
+// Stream replays this world's interactions as a live arrival sequence.
+// Sessions interleave the way concurrent users would produce them — a
+// bounded window of open sessions, each advanced one click at a time in
+// seeded random rotation — yet the order is a pure function of (world,
+// seed), so two replays feed byte-identical append streams. That
+// determinism is what lets ingest tests compare a crash-recovered shard
+// against an uninterrupted control run record for record.
+type Stream struct {
+	l      *Logs
+	r      *rng.RNG
+	order  []int // seeded permutation of session indices
+	next   int   // next unopened session in order
+	open   []sessionCursor
+	remain int
+}
+
+// sessionCursor walks one session click by click.
+type sessionCursor struct {
+	sess  int
+	event int
+	click int
+}
+
+// streamWindow is the number of sessions in flight at once: large enough
+// that arrivals from different users interleave (the shape a live feed
+// has), small enough that a session's own clicks stay loosely clustered
+// in time.
+const streamWindow = 8
+
+// Stream returns a deterministic interaction iterator over this world.
+// Iterators with the same seed yield identical sequences; different
+// seeds yield different interleavings of the same interaction multiset.
+func (l *Logs) Stream(seed uint64) *Stream {
+	order := make([]int, len(l.Sessions))
+	for i := range order {
+		order[i] = i
+	}
+	r := rng.New(seed)
+	r.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	s := &Stream{l: l, r: r, order: order, remain: l.NumInteractions()}
+	for len(s.open) < streamWindow && s.next < len(s.order) {
+		s.open = append(s.open, sessionCursor{sess: s.order[s.next]})
+		s.next++
+	}
+	return s
+}
+
+// Remaining reports how many interactions the stream has yet to yield.
+func (s *Stream) Remaining() int { return s.remain }
+
+// Next yields the next interaction, or ok=false when the world's
+// sessions are exhausted.
+func (s *Stream) Next() (iv Interaction, ok bool) {
+	for len(s.open) > 0 {
+		i := s.r.Intn(len(s.open))
+		cur := &s.open[i]
+		sess := &s.l.Sessions[cur.sess]
+		if cur.event >= len(sess.Events) {
+			// Session drained: replace it with the next unopened one (or
+			// shrink the window near the end of the feed).
+			if s.next < len(s.order) {
+				s.open[i] = sessionCursor{sess: s.order[s.next]}
+				s.next++
+			} else {
+				s.open[i] = s.open[len(s.open)-1]
+				s.open = s.open[:len(s.open)-1]
+			}
+			continue
+		}
+		ev := &sess.Events[cur.event]
+		iv = Interaction{
+			User:     sess.User,
+			Query:    ev.Query,
+			Item:     ev.Clicks[cur.click].Item,
+			PrevItem: -1,
+			Topic:    ev.Topic,
+		}
+		if cur.click > 0 {
+			iv.PrevItem = ev.Clicks[cur.click-1].Item
+		}
+		cur.click++
+		if cur.click >= len(ev.Clicks) {
+			cur.click = 0
+			cur.event++
+		}
+		s.remain--
+		return iv, true
+	}
+	return Interaction{}, false
+}

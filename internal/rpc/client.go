@@ -6,12 +6,14 @@ import (
 	"log"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zoomer/internal/engine"
 	"zoomer/internal/graph"
+	"zoomer/internal/ingest"
 	"zoomer/internal/partition"
 	"zoomer/internal/rng"
 	"zoomer/internal/tensor"
@@ -32,6 +34,16 @@ var ErrShardUnavailable = engine.ErrShardUnavailable
 type remoteError struct{ msg string }
 
 func (e *remoteError) Error() string { return "rpc: server: " + e.msg }
+
+// Is re-types well-known server-answered failures that crossed the wire
+// as strings: an append rejected by validation carries the
+// engine.ErrBadAppend marker in its message, and matching it again
+// client-side keeps remote shards indistinguishable from local ones for
+// callers that branch on the sentinel (the gateway's 400 mapping,
+// Engine.Append's no-retry rule).
+func (e *remoteError) Is(target error) bool {
+	return target == engine.ErrBadAppend && strings.Contains(e.msg, engine.ErrBadAppend.Error())
+}
 
 // movedError is the wrong-epoch redirect decoded from a statusMoved
 // response: the server answered — over a healthy connection — that it no
@@ -527,6 +539,58 @@ func (cl *Client) sampleBatch(gids []graph.NodeID, idx []int32, base uint64, k i
 	return total, err
 }
 
+// appendOnce runs exactly one OpAppend attempt. Unlike every read path
+// it is never retried internally: after a transport failure the record
+// may or may not have been applied server-side, and only the caller's
+// sequence cache can disambiguate (the dup result on a same-seq retry
+// means the lost attempt landed). fanout marks the request a replica
+// fan-out copy the receiver must not forward again.
+func (cl *Client) appendOnce(shard int, seq uint64, edges []ingest.Edge, fanout bool) (result byte, lastSeq uint64, err error) {
+	probe, gerr := cl.gate()
+	if gerr != nil {
+		return 0, 0, gerr
+	}
+	failed := true
+	defer func() { cl.settle(probe, failed) }()
+	mc, err := cl.conn()
+	if err != nil {
+		return 0, 0, cl.unavailable(err)
+	}
+	ct := getTimer()
+	defer putTimer(ct)
+	sl, req, err := mc.acquire(OpAppend, ct, cl.cfg.Timeout)
+	if err != nil {
+		return 0, 0, cl.unavailable(err)
+	}
+	var flags byte
+	if fanout {
+		flags = appendFlagFanout
+	}
+	req = append(req, flags)
+	req = appendU32(req, uint32(shard))
+	req = ingest.AppendPayload(req, seq, edges) // on-wire == on-disk encoding
+	body, err := mc.roundTrip(sl, req, ct, cl.cfg.Timeout)
+	if err != nil {
+		if permanent(err) {
+			failed = false
+			return 0, 0, err
+		}
+		return 0, 0, cl.unavailable(err)
+	}
+	cu := cursor{b: body}
+	result = cu.u8()
+	lastSeq = cu.u64()
+	bad := cu.bad || result > appendGap
+	mc.release(sl)
+	if bad {
+		mc.fail(fmt.Errorf("rpc: malformed append response (%d bytes)", len(body)))
+		failed = false
+		return 0, 0, fmt.Errorf("rpc: malformed append response")
+	}
+	failed = false
+	return result, lastSeq, nil
+}
+
 // pendingBatch is one started (sent, not yet awaited) batch visit — the
 // engine.BatchHandle the stub hands the scatter-gather fan-out. Pooled;
 // returned to the pool when awaited.
@@ -739,9 +803,12 @@ func (cl *Client) nodeRead(op Op, id graph.NodeID, decode func(cu *cursor) error
 		})
 }
 
-// ShardInfo describes one partition a server owns.
+// ShardInfo describes one partition a server owns. Ingest is the
+// shard's write-path row from a protocol-v4 epoch response (nil from the
+// info handshake, which does not carry the section).
 type ShardInfo struct {
 	ID, Nodes, Edges int
+	Ingest           *engine.IngestStats
 }
 
 // Info is the server handshake: the shape of the graph behind the server
@@ -850,12 +917,58 @@ func (cl *Client) RoutingEpoch() (uint64, []ShardInfo, []string, error) {
 		if len(cu.rest()) > 0 { // v3 servers append their member view
 			members = decodeAddrList(&cu)
 		}
+		if len(cu.rest()) > 0 { // v4 servers append per-shard ingest rows
+			decodeIngest(&cu, owned)
+		}
 		return cu.err()
 	})
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	return epoch, owned, members, nil
+}
+
+// decodeIngest decodes the protocol-v4 ingest section of an epoch
+// response and attaches each row to its shard's entry in owned.
+func decodeIngest(cu *cursor, owned []ShardInfo) {
+	byID := make(map[int]int, len(owned))
+	for i := range owned {
+		byID[owned[i].ID] = i
+	}
+	count := int(cu.u32())
+	if cu.bad || count < 0 || count > 1<<20 {
+		cu.bad = true
+		return
+	}
+	for n := 0; n < count; n++ {
+		var st engine.IngestStats
+		st.Shard = int(cu.u32())
+		st.Seq = cu.u64()
+		st.DeltaNodes = int(cu.u32())
+		st.DeltaEdges = cu.u64()
+		st.Compactions = cu.u64()
+		st.WALSegments = int(cu.u32())
+		st.Fsyncs = cu.u64()
+		st.FsyncNanos = cu.u64()
+		hl := int(cu.u32())
+		if cu.bad || hl < 0 || hl > 64 {
+			cu.bad = true
+			return
+		}
+		if hl > 0 {
+			st.FsyncHist = make([]uint64, hl)
+			for i := range st.FsyncHist {
+				st.FsyncHist[i] = cu.u64()
+			}
+		}
+		if cu.bad {
+			return
+		}
+		if i, ok := byID[st.Shard]; ok {
+			row := st
+			owned[i].Ingest = &row
+		}
+	}
 }
 
 // Members runs the membership exchange (protocol v3): announce, when
@@ -890,6 +1003,14 @@ type RemoteShard struct {
 	shard        int
 	nodes, edges int
 	requests     atomic.Int64
+
+	// write facet: appendMu serializes this stub's appends; nextSeq
+	// caches the server's sequence watermark (0 = unknown, resynced from
+	// dup/gap answers). ingStats is the shard's last observed ingest row
+	// (fed by cluster refreshes decoding v4 epoch responses).
+	appendMu sync.Mutex
+	nextSeq  uint64
+	ingStats atomic.Pointer[engine.IngestStats]
 }
 
 // The stub plugs into the routing layer exactly like an in-process
@@ -901,6 +1022,8 @@ var (
 	_ engine.BatchStarter    = (*RemoteShard)(nil)
 	_ engine.HealthReporter  = (*RemoteShard)(nil)
 	_ engine.DeadlineSampler = (*RemoteShard)(nil)
+	_ engine.EdgeAppender    = (*RemoteShard)(nil)
+	_ engine.IngestReporter  = (*RemoteShard)(nil)
 )
 
 // NewRemoteShard returns a stub for partition shard behind cl. nodes and
@@ -971,6 +1094,78 @@ func (rs *RemoteShard) SampleBatchInto(gids []graph.NodeID, idx []int32, base ui
 func (rs *RemoteShard) StartSampleBatch(gids []graph.NodeID, idx []int32, base uint64, k int, out []graph.NodeID, ns []int32) engine.BatchHandle {
 	rs.requests.Add(int64(len(gids)))
 	return rs.cl.startBatch(gids, idx, base, k, out, ns)
+}
+
+// AppendEdges implements engine.EdgeAppender over the graph-append op:
+// exactly-once in effect over an at-least-once wire. The stub assigns
+// the next sequence number from its cache and retries with the SAME
+// number across transport failures, so a retry of a delivered-but-
+// unacknowledged record lands as a duplicate instead of a double apply.
+// A dup answer counts as success only when an earlier attempt of this
+// very call may have been delivered; otherwise the cache was stale
+// (another writer advanced the shard, or a fresh stub) and the call
+// resyncs from the server's watermark and retries under a new number.
+func (rs *RemoteShard) AppendEdges(edges []ingest.Edge) (uint64, error) {
+	rs.appendMu.Lock()
+	defer rs.appendMu.Unlock()
+	rs.requests.Add(1)
+	const maxAttempts = 5
+	sent := false // an attempt of this call may have reached the server
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		seq := rs.nextSeq
+		if seq == 0 {
+			seq = 1 // cold cache: the first dup/gap answer resyncs us
+		}
+		res, last, err := rs.cl.appendOnce(rs.shard, seq, edges, false)
+		if err != nil {
+			if permanent(err) {
+				// Server-answered (validation failure or redirect): nothing
+				// was applied. Redirects surface as engine.ErrWrongEpoch so
+				// the engine refreshes ownership and re-routes the batch.
+				return 0, err
+			}
+			sent = true // the lost attempt may have been applied
+			lastErr = err
+			continue
+		}
+		switch res {
+		case appendApplied:
+			rs.nextSeq = seq + 1
+			return seq, nil
+		case appendDup:
+			if sent {
+				// Our earlier attempt landed; its response was lost.
+				rs.nextSeq = seq + 1
+				return seq, nil
+			}
+			rs.nextSeq = last + 1 // stale cache; retry under a fresh number
+		case appendGap:
+			// The server is behind seq, so no attempt of ours applied.
+			rs.nextSeq = last + 1
+			sent = false
+		}
+	}
+	if lastErr == nil {
+		lastErr = errors.New("rpc: append sequence never converged")
+	}
+	return 0, fmt.Errorf("rpc: append to shard %d failed after %d attempts: %w", rs.shard, maxAttempts, lastErr)
+}
+
+// IngestStats implements engine.IngestReporter from the stub's cached
+// ingest row; false until a cluster refresh has observed one.
+func (rs *RemoteShard) IngestStats() (engine.IngestStats, bool) {
+	if st := rs.ingStats.Load(); st != nil {
+		return *st, true
+	}
+	return engine.IngestStats{}, false
+}
+
+// setIngest caches the shard's latest observed ingest row.
+func (rs *RemoteShard) setIngest(st *engine.IngestStats) {
+	if st != nil {
+		rs.ingStats.Store(st)
+	}
 }
 
 // NeighborsOf fetches and decodes id's adjacency list (a fresh copy; the
@@ -1107,6 +1302,7 @@ func (c *Cluster) stub(server int, sh ShardInfo) *RemoteShard {
 		rs = NewRemoteShard(c.clients[server], sh.ID, sh.Nodes, sh.Edges)
 		c.stubs[key] = rs
 	}
+	rs.setIngest(sh.Ingest)
 	return rs
 }
 
@@ -1384,6 +1580,36 @@ func DialClusterWith(cfg ClientConfig, addrs ...string) (*Cluster, error) {
 	cluster.Engine = engine.NewWithReplicaSets(routing, groups, cluster.Info.ContentDim)
 	cluster.Engine.SetRefresh(cluster.Refresh)
 	return cluster, nil
+}
+
+// IngestStats polls every cluster member's routing epoch and returns one
+// write-path row per shard — from its first reachable claimant, in shard
+// order. Unreachable servers are skipped (their shards report through
+// replicas when any); cached stub rows are refreshed along the way.
+func (c *Cluster) IngestStats() []engine.IngestStats {
+	clients := c.snapshotClients()
+	polls := c.pollServers(clients)
+	byShard := make(map[int]engine.IngestStats)
+	for si := range polls {
+		if polls[si].err != nil {
+			continue
+		}
+		for _, sh := range polls[si].owned {
+			if sh.Ingest == nil {
+				continue
+			}
+			c.stub(si, sh)
+			if _, ok := byShard[sh.ID]; !ok {
+				byShard[sh.ID] = *sh.Ingest
+			}
+		}
+	}
+	out := make([]engine.IngestStats, 0, len(byShard))
+	for _, st := range byShard {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
 }
 
 // SetPollTimeout overrides the per-server ownership-poll bound used by

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 
 	"zoomer/internal/engine"
 	"zoomer/internal/graph"
+	"zoomer/internal/ingest"
 	"zoomer/internal/partition"
 	"zoomer/internal/rng"
 )
@@ -37,6 +39,17 @@ type ServerConfig struct {
 	// redirects and epoch polls carry the member list); when empty the
 	// server is invisible to dynamic discovery, exactly as before.
 	Advertise string
+
+	// WALDir enables durable ingestion: each owned shard logs appends to
+	// a write-ahead log under <WALDir>/shard-<id> before applying them,
+	// and replays the log into the freshly built store on startup and on
+	// partition acquisition — a kill -9 mid-append recovers to the exact
+	// pre-crash ingest epoch. Empty disables durability: appends apply
+	// in memory only and die with the process.
+	WALDir string
+	// Fsync makes every append group-commit to disk before it is
+	// acknowledged (see ingest.Options.Fsync). Meaningless without WALDir.
+	Fsync bool
 
 	// ConnWorkers bounds the concurrent request dispatch per connection
 	// (default 4): a multiplexing client pipelines many requests onto one
@@ -89,6 +102,17 @@ type Server struct {
 	memMu   sync.Mutex // membership registry: advertised addresses of known servers
 	members map[string]struct{}
 
+	// write path: per-shard ingest state (WAL + apply ordering), the
+	// cached clients appends fan out to replica siblings over, and the
+	// count of fan-out copies that could not be delivered (replica lag).
+	walDir     string
+	fsync      bool
+	ingMu      sync.Mutex
+	ingests    map[int]*shardIngest
+	fanMu      sync.Mutex
+	fanClients map[string]*Client
+	replicaLag atomic.Int64
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -96,6 +120,20 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	opCounts [numOps]atomic.Int64
+}
+
+// shardIngest is one owned shard's write-path state. mu orders the
+// dup/gap check, WAL write and delta apply of one append as a unit; the
+// fan-out stage chains to fanMu (acquired before mu is released, so
+// copies leave in sequence order) because mu must never be held across a
+// network call — two replicas fanning out to each other would deadlock
+// on each other's apply mutex. The fsync group-commit wait happens after
+// both so concurrent appends coalesce into one sync. wal is nil when the
+// server runs without durability (no WALDir).
+type shardIngest struct {
+	mu    sync.Mutex
+	fanMu sync.Mutex
+	wal   *ingest.WAL
 }
 
 // ownership is one immutable view of the partitions this server serves:
@@ -157,6 +195,9 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 		window:     cfg.ConnWindow,
 		replicas:   cfg.Replicas,
 		advertise:  cfg.Advertise,
+		walDir:     cfg.WALDir,
+		fsync:      cfg.Fsync,
+		ingests:    make(map[int]*shardIngest),
 		conns:      make(map[net.Conn]struct{}),
 		members:    make(map[string]struct{}),
 	}
@@ -169,9 +210,62 @@ func NewServer(g *graph.Graph, cfg ServerConfig) *Server {
 			panic(fmt.Sprintf("rpc: owned shard %d of %d", id, cfg.Shards))
 		}
 		shards[id] = engine.BuildShard(part, id, cfg.Replicas)
+		if err := s.openIngest(id, shards[id]); err != nil {
+			// An unreadable WAL directory at boot is a deployment fault on
+			// par with an invalid config; refusing to start beats serving a
+			// shard whose durable history cannot be honored.
+			panic(err.Error())
+		}
 	}
 	s.own.Store(s.newOwnership(0, shards))
 	return s
+}
+
+// openIngest creates shard id's write-path state, replaying its WAL into
+// the freshly built store when durability is configured — the recovery
+// half of crash consistency: the store's ingest epoch after replay equals
+// the WAL's last durable sequence number.
+func (s *Server) openIngest(id int, sh *engine.Shard) error {
+	ing := &shardIngest{}
+	if s.walDir != "" {
+		dir := filepath.Join(s.walDir, fmt.Sprintf("shard-%d", id))
+		w, recovered, err := ingest.Open(dir, ingest.Options{Fsync: s.fsync})
+		if err != nil {
+			return fmt.Errorf("rpc: open WAL for shard %d: %w", id, err)
+		}
+		for _, rec := range recovered {
+			if _, _, aerr := sh.ApplyAppend(rec.Seq, rec.Edges); aerr != nil {
+				w.Close()
+				return fmt.Errorf("rpc: replay WAL record %d for shard %d: %w", rec.Seq, id, aerr)
+			}
+		}
+		ing.wal = w
+	}
+	s.ingMu.Lock()
+	s.ingests[id] = ing
+	s.ingMu.Unlock()
+	return nil
+}
+
+// ingestFor returns shard id's write-path state, nil once the shard has
+// been released.
+func (s *Server) ingestFor(id int) *shardIngest {
+	s.ingMu.Lock()
+	defer s.ingMu.Unlock()
+	return s.ingests[id]
+}
+
+// closeIngest drops shard id's write-path state and closes its WAL.
+func (s *Server) closeIngest(id int) {
+	s.ingMu.Lock()
+	ing := s.ingests[id]
+	delete(s.ingests, id)
+	s.ingMu.Unlock()
+	if ing != nil && ing.wal != nil {
+		ing.mu.Lock()
+		ing.wal.Close()
+		ing.mu.Unlock()
+	}
 }
 
 // newOwnership stamps a served-store set with its epoch and the matching
@@ -237,6 +331,12 @@ func (s *Server) AcquirePartition(id int) (uint64, error) {
 	if o.shards[id] != nil {
 		return o.epoch, nil // lost a race to a concurrent acquire; drop our build
 	}
+	// Replay the shard's durable history (if any) before the partition
+	// becomes visible: the first append it serves must continue the WAL's
+	// sequence, not restart it.
+	if err := s.openIngest(id, sh); err != nil {
+		return 0, err
+	}
 	shards := make(map[int]*engine.Shard, len(o.shards)+1)
 	for k, v := range o.shards {
 		shards[k] = v
@@ -271,6 +371,10 @@ func (s *Server) ReleasePartition(id int) (uint64, error) {
 	}
 	next := s.newOwnership(o.epoch+1, shards)
 	s.own.Store(next)
+	// Appends decoded from now on answer with the redirect (their
+	// ingestFor lookup finds nothing); the WAL closes once the state is
+	// unpublished so a re-acquire reopens a consistent log.
+	s.closeIngest(id)
 	return next.epoch, nil
 }
 
@@ -342,8 +446,32 @@ func (s *Server) Close() error {
 		ln.Close()
 	}
 	s.wg.Wait()
+	// Handlers have drained: close the WALs (syncing their tails) and the
+	// fan-out clients.
+	s.ingMu.Lock()
+	ings := s.ingests
+	s.ingests = make(map[int]*shardIngest)
+	s.ingMu.Unlock()
+	for _, ing := range ings {
+		if ing.wal != nil {
+			ing.wal.Close()
+		}
+	}
+	s.fanMu.Lock()
+	fans := s.fanClients
+	s.fanClients = nil
+	s.fanMu.Unlock()
+	for _, cl := range fans {
+		cl.Close()
+	}
 	return nil
 }
+
+// ReplicaLag reports how many append fan-out copies could not be
+// delivered to a replica sibling (after per-copy retry) — each one is a
+// record a sibling will only regain by replaying its own WAL or being
+// re-acquired.
+func (s *Server) ReplicaLag() int64 { return s.replicaLag.Load() }
 
 // OpCount reports how many requests of one op this server has served —
 // the request accounting the round-trip budget tests assert against
@@ -424,11 +552,12 @@ func (s *Server) OwnedShards() []int {
 // sample/batch request cycle allocates nothing server-side.
 type serverConn struct {
 	frameScratch
-	gids []graph.NodeID
-	idx  []int32
-	out  []graph.NodeID
-	ns   []int32
-	r    rng.RNG
+	gids  []graph.NodeID
+	idx   []int32
+	out   []graph.NodeID
+	ns    []int32
+	edges []ingest.Edge
+	r     rng.RNG
 }
 
 // reqSlot is one buffered request: its id and a copy of [op | payload]
@@ -461,7 +590,9 @@ func (s *Server) handshake(c net.Conn) bool {
 		version = binary.LittleEndian.Uint32(pre[4:8])
 	}
 	if version != ProtocolVersion {
-		msg := fmt.Sprintf("protocol version mismatch: server speaks v%d; upgrade the client", ProtocolVersion)
+		// Name both sides: "server speaks v4, client v3" tells the operator
+		// exactly which end of a mixed-version fleet is behind.
+		msg := fmt.Sprintf("protocol version mismatch: server speaks v%d, client v%d; upgrade the older side", ProtocolVersion, version)
 		// Old-style frame: u32 length, status byte, error text — the one
 		// shape a pre-multiplexing client can decode.
 		reply := make([]byte, 4, 5+len(msg))
@@ -624,6 +755,8 @@ func (s *Server) dispatch(op Op, payload []byte, sc *serverConn) ([]byte, error)
 		return s.handleEpoch(sc), nil
 	case OpMembers:
 		return s.handleMembers(payload, sc)
+	case OpAppend:
+		return s.handleAppend(o, payload, sc)
 	default:
 		return nil, fmt.Errorf("rpc: unknown op %d", byte(op))
 	}
@@ -681,14 +814,52 @@ func (s *Server) handleReassign(payload []byte, sc *serverConn) ([]byte, error) 
 
 // handleEpoch answers the ownership poll: current epoch plus the served
 // partitions — enough for a client to rebind moved shards without
-// re-fetching the routing blob — and (protocol v3) the member view, so
-// every poll doubles as membership discovery.
+// re-fetching the routing blob — the member view (protocol v3), so every
+// poll doubles as membership discovery, and the per-shard ingest rows
+// (protocol v4), so every poll doubles as write-path observability.
 func (s *Server) handleEpoch(sc *serverConn) []byte {
 	o := s.own.Load()
 	b := sc.begin(statusOK)
 	b = appendU64(b, o.epoch)
 	b = s.appendOwned(b, o)
-	return appendAddrList(b, s.Members())
+	b = appendAddrList(b, s.Members())
+	return s.appendIngest(b, o)
+}
+
+// appendIngest encodes the protocol-v4 ingest section of the epoch
+// response: one row per owned shard, in shard order — sequence watermark,
+// delta-layer shape, and (when durable) WAL segment/fsync counters with
+// the fsync latency histogram.
+func (s *Server) appendIngest(b []byte, o *ownership) []byte {
+	ids := make([]int, 0, len(o.shards))
+	for id := range o.shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	b = appendU32(b, uint32(len(ids)))
+	for _, id := range ids {
+		st, _ := o.shards[id].IngestStats()
+		if ing := s.ingestFor(id); ing != nil && ing.wal != nil {
+			ws := ing.wal.Stats()
+			st.WALSegments = ws.Segments
+			st.Fsyncs = ws.Fsyncs
+			st.FsyncNanos = ws.FsyncNanos
+			st.FsyncHist = ws.FsyncHist
+		}
+		b = appendU32(b, uint32(id))
+		b = appendU64(b, st.Seq)
+		b = appendU32(b, uint32(st.DeltaNodes))
+		b = appendU64(b, st.DeltaEdges)
+		b = appendU64(b, st.Compactions)
+		b = appendU32(b, uint32(st.WALSegments))
+		b = appendU64(b, st.Fsyncs)
+		b = appendU64(b, st.FsyncNanos)
+		b = appendU32(b, uint32(len(st.FsyncHist)))
+		for _, c := range st.FsyncHist {
+			b = appendU64(b, c)
+		}
+	}
+	return b
 }
 
 // handleMembers runs the membership exchange: a non-empty announce joins
@@ -853,6 +1024,197 @@ func (s *Server) handleFeatures(o *ownership, payload []byte, sc *serverConn) ([
 		b = appendU32(b, uint32(f))
 	}
 	return b, nil
+}
+
+// IngestStats reports every owned shard's write-path state in shard
+// order: delta-layer shape from the store, WAL counters from the log.
+func (s *Server) IngestStats() []engine.IngestStats {
+	o := s.own.Load()
+	ids := make([]int, 0, len(o.shards))
+	for id := range o.shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]engine.IngestStats, 0, len(ids))
+	for _, id := range ids {
+		st, _ := o.shards[id].IngestStats()
+		if ing := s.ingestFor(id); ing != nil && ing.wal != nil {
+			ws := ing.wal.Stats()
+			st.WALSegments = ws.Segments
+			st.Fsyncs = ws.Fsyncs
+			st.FsyncNanos = ws.FsyncNanos
+			st.FsyncHist = ws.FsyncHist
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// handleAppend serves the idempotent durable write (protocol v4):
+// validate, WAL-log, apply to the delta layer, fan out to replica
+// siblings, then group-commit — acknowledging only once the record is as
+// durable as the configuration promises. The dup/gap check and the
+// WAL+apply run as a unit under the shard's ingest mutex, so concurrent
+// writers serialize into one strictly sequenced history; fan-out chains
+// to its own mutex and the fsync wait happens last so syncs coalesce.
+func (s *Server) handleAppend(o *ownership, payload []byte, sc *serverConn) ([]byte, error) {
+	if len(payload) < 1 {
+		return nil, fmt.Errorf("rpc: empty append request")
+	}
+	flags := payload[0]
+	cu := cursor{b: payload[1:]}
+	shard := int(cu.u32())
+	seq := cu.u64()
+	count := int(cu.u32())
+	if cu.bad || count <= 0 || count > ingest.MaxRecordEdges {
+		return nil, fmt.Errorf("rpc: bad append header (%d edges)", count)
+	}
+	if cap(sc.edges) < count {
+		sc.edges = make([]ingest.Edge, count)
+	}
+	edges := sc.edges[:count]
+	for i := range edges {
+		edges[i] = ingest.Edge{
+			Src:    graph.NodeID(cu.u32()),
+			Dst:    graph.NodeID(cu.u32()),
+			Type:   graph.EdgeType(cu.u8()),
+			Weight: math.Float32frombits(cu.u32()),
+		}
+	}
+	if err := cu.err(); err != nil {
+		return nil, err
+	}
+	if shard < 0 || shard >= s.part.NumShards() {
+		return nil, fmt.Errorf("rpc: append shard %d out of range [0,%d)", shard, s.part.NumShards())
+	}
+	if seq == 0 {
+		return nil, fmt.Errorf("rpc: append sequence numbers start at 1")
+	}
+	sh, ok := o.shards[shard]
+	if !ok {
+		return nil, &errShardMoved{shard: shard, epoch: o.epoch}
+	}
+	// Validate before the WAL write: the log must never hold a record
+	// replay would refuse.
+	if err := sh.ValidateAppend(edges); err != nil {
+		return nil, err
+	}
+	ing := s.ingestFor(shard)
+	if ing == nil {
+		// Released between the snapshot load and here; the current epoch
+		// tells the client its view is stale.
+		return nil, &errShardMoved{shard: shard, epoch: s.own.Load().epoch}
+	}
+
+	ing.mu.Lock()
+	cur := sh.LastAppliedSeq()
+	if seq <= cur {
+		ing.mu.Unlock()
+		b := sc.begin(statusOK)
+		b = append(b, appendDup)
+		return appendU64(b, cur), nil
+	}
+	if seq != cur+1 {
+		ing.mu.Unlock()
+		b := sc.begin(statusOK)
+		b = append(b, appendGap)
+		return appendU64(b, cur), nil
+	}
+	var commit int64
+	if ing.wal != nil {
+		var werr error
+		commit, werr = ing.wal.Write(seq, edges)
+		if werr != nil {
+			ing.mu.Unlock()
+			return nil, werr
+		}
+	}
+	if _, _, aerr := sh.ApplyAppend(seq, edges); aerr != nil {
+		// Unreachable short of a bug: validation ran pre-WAL and the
+		// sequence was checked under this mutex. Surface loudly — the WAL
+		// now holds a record the store refused.
+		ing.mu.Unlock()
+		return nil, fmt.Errorf("rpc: apply after WAL write: %w", aerr)
+	}
+	if flags&appendFlagFanout == 0 {
+		// Chain into the fan-out stage before releasing the apply mutex:
+		// copies leave in sequence order, so a healthy sibling never sees
+		// a gap, yet no mutex a fan-out copy needs at the receiver is held
+		// across the network call. The cost — replica RTTs serialize this
+		// shard's writers — is the price of not needing a per-sibling
+		// reorder buffer; lagging siblings are counted, logged and left to
+		// WAL replay rather than retried forever.
+		ing.fanMu.Lock()
+		ing.mu.Unlock()
+		s.fanoutAppend(shard, seq, edges)
+		ing.fanMu.Unlock()
+	} else {
+		ing.mu.Unlock()
+	}
+	if ing.wal != nil {
+		if err := ing.wal.Sync(commit); err != nil {
+			// The record is applied in memory but its durability is void;
+			// the sticky WAL failure makes every later append fail typed.
+			return nil, err
+		}
+	}
+	b := sc.begin(statusOK)
+	b = append(b, appendApplied)
+	return appendU64(b, seq), nil
+}
+
+// fanClient returns (creating on first use) the cached client for
+// fan-out copies to peer.
+func (s *Server) fanClient(peer string) *Client {
+	s.fanMu.Lock()
+	defer s.fanMu.Unlock()
+	if s.fanClients == nil {
+		s.fanClients = make(map[string]*Client)
+	}
+	cl := s.fanClients[peer]
+	if cl == nil {
+		cl = NewClientWith(peer, ClientConfig{Conns: 1})
+		s.fanClients[peer] = cl
+	}
+	return cl
+}
+
+// fanoutAppend forwards one applied record to every known sibling with
+// bounded retry. A sibling that redirects (does not serve the shard) is
+// not a replica and is skipped; one that answers gap is lagging (it
+// missed earlier records) and will catch up from its own WAL or a
+// re-acquire; transport failures get one fresh-connection retry. Lag and
+// delivery failures feed the replicaLag counter and the log — durability
+// of the primary's ack never depends on sibling delivery.
+func (s *Server) fanoutAppend(shard int, seq uint64, edges []ingest.Edge) {
+	if s.advertise == "" {
+		return
+	}
+	for _, peer := range s.Members() {
+		if peer == s.advertise {
+			continue
+		}
+		cl := s.fanClient(peer)
+		var lastErr error
+		delivered := false
+		for attempt := 0; attempt < 2 && !delivered; attempt++ {
+			res, peerSeq, err := cl.appendOnce(shard, seq, edges, true)
+			switch {
+			case err == nil && (res == appendApplied || res == appendDup):
+				delivered = true
+			case err == nil: // gap: the sibling is behind
+				lastErr = fmt.Errorf("replica behind at seq %d", peerSeq)
+			case errors.Is(err, engine.ErrWrongEpoch):
+				delivered = true // not a replica of this shard; nothing to forward
+			default:
+				lastErr = err
+			}
+		}
+		if !delivered {
+			s.replicaLag.Add(1)
+			Logf("rpc: append fan-out to %s (shard %d, seq %d) failed: %v", peer, shard, seq, lastErr)
+		}
+	}
 }
 
 func (s *Server) handleContent(o *ownership, payload []byte, sc *serverConn) ([]byte, error) {

@@ -56,9 +56,11 @@ import (
 const (
 	// ProtocolVersion is the wire protocol version this build speaks.
 	// Version 3 added the members op, the member list in routing-epoch
-	// responses and the member addresses in wrong-epoch redirects; the
-	// framing is unchanged from version 2.
-	ProtocolVersion = 3
+	// responses and the member addresses in wrong-epoch redirects.
+	// Version 4 adds the idempotent graph-append op and the per-shard
+	// ingest-stats section of the routing-epoch response; the framing is
+	// unchanged from version 2.
+	ProtocolVersion = 4
 	prefaceLen      = 8
 )
 
@@ -104,7 +106,34 @@ const (
 	// each other with it; clients poll it to discover servers that joined
 	// after dial.
 	OpMembers
+	// OpAppend is the idempotent durable write (protocol v4): append a
+	// batch of edges to one owned shard at an exact per-shard sequence
+	// number. The request is [u8 flags | u32 shard | u64 seq | edge
+	// payload]; flag bit 0 marks a replica fan-out copy, which the
+	// receiver applies locally without forwarding further. The response
+	// is [u8 result | u64 lastSeq] — applied, duplicate (seq already
+	// applied; safe retry outcome) or gap (seq beyond lastSeq+1; the
+	// caller resyncs from lastSeq). A non-owner answers with the
+	// wrong-epoch redirect like any other shard-targeted op.
+	OpAppend
 	numOps
+)
+
+// appendFlagFanout marks an OpAppend request as a replica fan-out copy:
+// the receiver applies it locally and never forwards it again, so a
+// replica group cannot echo appends among itself.
+const appendFlagFanout = 1
+
+// OpAppend response results.
+const (
+	// appendApplied: the record was WAL-logged and applied; lastSeq == seq.
+	appendApplied = 0
+	// appendDup: seq was already applied (an at-least-once retry landing
+	// twice); nothing was written. lastSeq reports the shard's watermark.
+	appendDup = 1
+	// appendGap: seq is beyond lastSeq+1; nothing was written. The caller
+	// must resync its sequence cache from lastSeq.
+	appendGap = 2
 )
 
 // String returns the lowercase op name.
@@ -130,6 +159,8 @@ func (o Op) String() string {
 		return "routing-epoch"
 	case OpMembers:
 		return "members"
+	case OpAppend:
+		return "graph-append"
 	default:
 		return fmt.Sprintf("op(%d)", byte(o))
 	}
@@ -238,6 +269,16 @@ func (cu *cursor) u32() uint32 {
 	}
 	v := binary.LittleEndian.Uint32(cu.b[cu.off:])
 	cu.off += 4
+	return v
+}
+
+func (cu *cursor) u8() byte {
+	if cu.off+1 > len(cu.b) {
+		cu.bad = true
+		return 0
+	}
+	v := cu.b[cu.off]
+	cu.off++
 	return v
 }
 

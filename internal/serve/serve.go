@@ -226,7 +226,7 @@ type cacheSegment struct {
 	pool    []*Entry // retired entries awaiting reuse
 	refresh chan graph.NodeID
 
-	hits, misses, refreshes atomic.Int64
+	hits, misses, refreshes, invalidations atomic.Int64
 }
 
 // NeighborCache stores the k last-sampled neighbors per node, sharded
@@ -446,6 +446,33 @@ func (c *NeighborCache) GetBy(id graph.NodeID, r *rng.RNG, deadline time.Time) *
 	return e
 }
 
+// InvalidateNodes schedules cached entries for the given ids to be
+// resampled — the delta-epoch hook: when appended edges change a node's
+// adjacency, its cached neighbor set is a sample of the old
+// distribution. Invalidation is deliberately not eviction: the stale
+// entry keeps serving (stale beats a synchronous refill stampede, the
+// same policy refreshers apply during an outage) while the segment's
+// refresher resamples it through the normal batch path. Ids with no
+// cached entry are skipped — there is nothing stale to heal. Best
+// effort: a refresher whose queue is full drops the hint, and the next
+// hit on the entry re-enqueues it anyway.
+func (c *NeighborCache) InvalidateNodes(ids ...graph.NodeID) {
+	for _, id := range ids {
+		seg := c.seg(id)
+		seg.mu.RLock()
+		_, cached := seg.entries[id]
+		seg.mu.RUnlock()
+		if !cached {
+			continue
+		}
+		select {
+		case seg.refresh <- id:
+			seg.invalidations.Add(1)
+		default: // refresher saturated; the next hit re-enqueues
+		}
+	}
+}
+
 // Stats sums cache counters across segments.
 func (c *NeighborCache) Stats() (hits, misses, refreshes int64) {
 	for i := range c.segs {
@@ -455,6 +482,16 @@ func (c *NeighborCache) Stats() (hits, misses, refreshes int64) {
 		refreshes += seg.refreshes.Load()
 	}
 	return hits, misses, refreshes
+}
+
+// Invalidations reports how many invalidation hints were accepted onto
+// refresh queues (all time).
+func (c *NeighborCache) Invalidations() int64 {
+	var n int64
+	for i := range c.segs {
+		n += c.segs[i].invalidations.Load()
+	}
+	return n
 }
 
 // Close stops the refreshers.

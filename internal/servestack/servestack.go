@@ -15,6 +15,7 @@ import (
 	"zoomer/internal/engine"
 	"zoomer/internal/graph"
 	"zoomer/internal/graphbuild"
+	"zoomer/internal/ingest"
 	"zoomer/internal/loggen"
 	"zoomer/internal/partition"
 	"zoomer/internal/rpc"
@@ -150,6 +151,25 @@ func Build(cfg Config, logf func(format string, args ...any)) (*Stack, error) {
 	st.Users = g.NodesOfType(graph.User)
 	st.Queries = g.NodesOfType(graph.Query)
 	return st, nil
+}
+
+// Append routes an edge batch into the graph's delta layer (over the
+// durable append op when the shards are remote). The Stack is the
+// gateway's write-path facet, so `gateway.EnableIngest(stack, ...)`
+// works for both topologies.
+func (st *Stack) Append(edges []ingest.Edge) (int, error) {
+	return st.Engine.Append(edges)
+}
+
+// IngestStats reports the per-shard write-path rows. Remote shards are
+// polled live (the cluster's routing-epoch sweep carries the rows), so
+// a /metrics scrape sees write progress without waiting for an
+// ownership refresh; in-process shards read their engine directly.
+func (st *Stack) IngestStats() []engine.IngestStats {
+	if st.cluster != nil {
+		return st.cluster.IngestStats()
+	}
+	return st.Engine.IngestStats()
 }
 
 // Close tears the stack down in reverse bring-up order: the worker pool
