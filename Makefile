@@ -1,12 +1,12 @@
 # Tier-1 verification and perf tooling for the Zoomer reproduction.
 
-.PHONY: verify verify-purego test race chaos ingest-chaos bench bench-compare docs-check compose-check gateway-smoke ci
+.PHONY: verify verify-purego test race chaos ingest-chaos bench bench-compare docs-check compose-check gateway-smoke experiments-check ci
 
 # The full CI gate: tier-1 verify (both kernel dispatches), race hammer,
 # fault-injection suite, ingest crash-recovery equivalence, perf
-# regression check, documentation link check, deploy topology lint, and
-# the multi-process gateway smoke run.
-ci: verify verify-purego race chaos ingest-chaos bench-compare docs-check compose-check gateway-smoke
+# regression check, documentation link check, deploy topology lint, the
+# multi-process gateway smoke run, and the experiments-harness smoke.
+ci: verify verify-purego race chaos ingest-chaos bench-compare docs-check compose-check gateway-smoke experiments-check
 
 # The tier-1 loop: vet + build + test. vet's asmdecl check covers the
 # AVX2 kernel frames in internal/tensor.
@@ -26,9 +26,11 @@ test:
 	go test ./...
 
 # Race-exercise the concurrent serving stack (scatter-gather and the RPC
-# client connection pool included).
+# client connection pool included) plus the full training stack: nn
+# optimizers, the parameter server, the experiments harness (incl. the
+# cross-topology equivalence suite), and the A/B replay.
 race:
-	go test -race ./internal/engine/... ./internal/serve/... ./internal/sampling/... ./internal/partition/... ./internal/rpc/...
+	go test -race ./internal/engine/... ./internal/serve/... ./internal/sampling/... ./internal/partition/... ./internal/rpc/... ./internal/nn/... ./internal/ps/... ./internal/experiments/... ./internal/abtest/...
 
 # Fault-injection suite under the race detector: server kill/restart and
 # churn, replica failover mid-batch, rolling upgrade, zero-replica
@@ -69,3 +71,12 @@ compose-check:
 # under overload and the gateway drains cleanly on SIGTERM.
 gateway-smoke:
 	./deploy/gateway_smoke.sh
+
+# Smoke the experiments harness end to end on CI-sized budgets: a fixed
+# seed over the tiny world, exercising the offline (table2), online A/B
+# (table4), and interpretability (fig13) paths — all of which now read
+# through the sharded engine view.
+experiments-check:
+	go run ./cmd/zoomer-experiments -exp table2,table4,fig13 -quick -seed 7 | tee /tmp/experiments-check.out
+	@grep -q "Table II" /tmp/experiments-check.out && grep -q "Table IV" /tmp/experiments-check.out && grep -q "Fig 13" /tmp/experiments-check.out \
+		|| { echo "experiments-check: missing expected table/figure output"; exit 1; }

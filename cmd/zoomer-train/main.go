@@ -1,22 +1,39 @@
 // Command zoomer-train trains Zoomer or a baseline on a synthetic Taobao
-// graph and reports test AUC.
+// graph and reports test AUC. Training reads the graph through the
+// core.GraphView seam, so the same run can sample from the monolithic
+// in-process graph, a local sharded engine, or a remote zoomer-shard
+// cluster — with bit-identical results (see the cross-topology
+// equivalence suite in internal/experiments).
 //
 // Usage:
 //
 //	zoomer-train -model zoomer -scale small -epochs 3
 //	zoomer-train -model graphsage -fanout 10 -steps 500
+//	zoomer-train -shards 4 -partition degree-balanced    # local sharded engine
+//
+// Distributed training: start shard servers with the same world
+// parameters, then point -remote at them (the runbook lives in
+// docs/OPERATIONS.md):
+//
+//	zoomer-shard -scale small -seed 1 -shards 4 -own 0,1 -listen :7001 &
+//	zoomer-shard -scale small -seed 1 -shards 4 -own 2,3 -listen :7002 &
+//	zoomer-train -scale small -seed 1 -remote localhost:7001,localhost:7002
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"zoomer/internal/baselines"
 	"zoomer/internal/core"
+	"zoomer/internal/engine"
 	"zoomer/internal/graph"
 	"zoomer/internal/graphbuild"
 	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
+	"zoomer/internal/rpc"
 )
 
 func main() {
@@ -30,6 +47,11 @@ func main() {
 	dim := flag.Int("dim", 32, "embedding dimensionality")
 	lr := flag.Float64("lr", 0.01, "learning rate")
 	seed := flag.Uint64("seed", 1, "random seed")
+	shards := flag.Int("shards", 0, "train over a local sharded engine with this many partitions (0 = monolithic graph)")
+	strategy := flag.String("partition", "hash", "node-to-shard assignment: hash | degree-balanced")
+	locality := flag.Bool("locality", true, "BFS shard-locality reordering (sharded engine only)")
+	replicas := flag.Int("replicas", 1, "replica copies per shard (sharded engine only)")
+	remote := flag.String("remote", "", "comma-separated zoomer-shard addresses (train over the RPC engine)")
 	flag.Parse()
 
 	scales := map[string]loggen.Scale{
@@ -39,6 +61,11 @@ func main() {
 	sc, ok := scales[*scale]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	strat, err := partition.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 
@@ -53,8 +80,40 @@ func main() {
 	test := core.InstancesFromExamples(ds.Test, res.Mapping)
 	fmt.Printf("examples: %d train / %d test\n", len(train), len(test))
 
+	// The graph view training samples through: monolithic graph by
+	// default, a local sharded engine with -shards, a dialed cluster of
+	// zoomer-shard servers with -remote.
+	var view core.GraphView = res.Graph
+	switch {
+	case *remote != "":
+		addrs := strings.Split(*remote, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		cluster, err := rpc.DialCluster(addrs...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dial cluster: %v\n", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		eng := cluster.Engine
+		if eng.NumNodes() != res.Graph.NumNodes() {
+			fmt.Fprintf(os.Stderr, "remote cluster serves %d nodes, local world has %d — start zoomer-shard with the same -scale/-seed\n",
+				eng.NumNodes(), res.Graph.NumNodes())
+			os.Exit(1)
+		}
+		view = core.EngineView{Engine: eng, M: res.Mapping}
+		fmt.Printf("engine: %d remote shards (%s partitioning) behind %d servers\n",
+			eng.NumShards(), cluster.Info.Strategy, len(addrs))
+	case *shards > 0:
+		eng := engine.New(res.Graph, engine.Config{Shards: *shards, Replicas: *replicas, Strategy: strat, Locality: *locality})
+		defer eng.Close()
+		view = core.EngineView{Engine: eng, M: res.Mapping}
+		fmt.Printf("engine: %d local shards x %d replicas (%s partitioning, locality %v)\n",
+			*shards, *replicas, strat, *locality)
+	}
+
 	v := logs.Vocab()
-	g := res.Graph
 	var m core.Model
 	switch *model {
 	case "zoomer", "gcn", "zoomer-fe", "zoomer-fs", "zoomer-es":
@@ -71,12 +130,12 @@ func main() {
 		case "zoomer-es":
 			cfg.UseFeatureProj = false
 		}
-		m = core.NewZoomer(g, v, cfg, *seed+2)
+		m = core.NewZoomer(view, v, cfg, *seed+2)
 	default:
 		cfg := baselines.DefaultConfig()
 		cfg.EmbedDim, cfg.OutDim = *dim, *dim
 		cfg.Hops, cfg.FanOut = *hops, *fanout
-		ctor := map[string]func(*graph.Graph, loggen.Vocab, baselines.Config, uint64) core.Model{
+		ctor := map[string]func(core.GraphView, loggen.Vocab, baselines.Config, uint64) core.Model{
 			"graphsage":  baselines.NewGraphSAGE,
 			"pinsage":    baselines.NewPinSage,
 			"pinnersage": baselines.NewPinnerSage,
@@ -91,7 +150,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
 			os.Exit(2)
 		}
-		m = ctor(g, v, cfg, *seed+2)
+		m = ctor(view, v, cfg, *seed+2)
 	}
 
 	tc := core.DefaultTrainConfig()

@@ -9,15 +9,20 @@ import (
 	"zoomer/internal/abtest"
 	"zoomer/internal/baselines"
 	"zoomer/internal/core"
+	"zoomer/internal/engine"
 	"zoomer/internal/graph"
 	"zoomer/internal/graphbuild"
 	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
 )
 
 func main() {
 	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 51))
 	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
-	g := res.Graph
+	// Both models train through a sharded engine view of the graph.
+	eng := engine.New(res.Graph, engine.Config{Shards: 4, Replicas: 1, Strategy: partition.Hash, Locality: true})
+	defer eng.Close()
+	g := core.EngineView{Engine: eng, M: res.Mapping}
 	ds := loggen.BuildExamples(logs, 1, 0.2, 52)
 	train := core.InstancesFromExamples(ds.Train, res.Mapping)
 	test := core.InstancesFromExamples(ds.Test, res.Mapping)
@@ -40,12 +45,19 @@ func main() {
 	pres := core.Train(pinsage, train, test, tc)
 	fmt.Printf("zoomer AUC %.3f | pinsage AUC %.3f\n", zres.TestAUC, pres.TestAUC)
 
-	items := g.NodesOfType(graph.Item)
+	items := res.Mapping.NodesOfType(graph.Item)
 	control := abtest.NewModelChannel("pinsage", pinsage, items, 55)
 	treatment := abtest.NewModelChannel("zoomer", zoomer, items, 56)
 	traffic := abtest.TrafficFromLogs(logs, res.Mapping, 120)
 
-	out := abtest.Run(g, traffic, control, treatment, abtest.DefaultConfig())
+	// Each arm serves from its own live engine config; the read surfaces
+	// are bit-identical, so the lift isolates the models.
+	controlEng := engine.New(res.Graph, engine.Config{Shards: 2, Replicas: 1, Strategy: partition.DegreeBalanced, Locality: false})
+	defer controlEng.Close()
+	out := abtest.RunArms(g, traffic,
+		abtest.Arm{Channel: control, View: core.EngineView{Engine: controlEng, M: res.Mapping}},
+		abtest.Arm{Channel: treatment, View: g},
+		abtest.DefaultConfig())
 	fmt.Printf("control   (pinsage): CTR %.4f  PPC %.3f  RPM %.2f\n",
 		out.Control.CTR(), out.Control.PPC(), out.Control.RPM())
 	fmt.Printf("treatment (zoomer):  CTR %.4f  PPC %.3f  RPM %.2f\n",

@@ -9,8 +9,10 @@ import (
 
 	"zoomer/internal/baselines"
 	"zoomer/internal/core"
+	"zoomer/internal/engine"
 	"zoomer/internal/graphbuild"
 	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
 )
 
 func main() {
@@ -29,6 +31,12 @@ func main() {
 	test := core.InstancesFromExamples(ds.Test, res.Mapping)
 	fmt.Printf("examples: %d train / %d test\n", len(train), len(test))
 
+	// Train through the sharded engine — the same read path the serving
+	// tier uses; draws are bit-identical to the monolithic graph.
+	eng := engine.New(res.Graph, engine.Config{Shards: 2, Replicas: 1, Strategy: partition.Hash, Locality: true})
+	defer eng.Close()
+	view := core.EngineView{Engine: eng, M: res.Mapping}
+
 	v := logs.Vocab()
 	zcfg := core.DefaultConfig()
 	zcfg.EmbedDim, zcfg.OutDim = 16, 16
@@ -38,8 +46,8 @@ func main() {
 	bcfg.Hops, bcfg.FanOut = 1, 5
 
 	models := []core.Model{
-		baselines.NewHAN(res.Graph, v, bcfg, 23),
-		core.NewZoomer(res.Graph, v, zcfg, 24),
+		baselines.NewHAN(view, v, bcfg, 23),
+		core.NewZoomer(view, v, zcfg, 24),
 	}
 	tc := core.DefaultTrainConfig()
 	tc.Epochs = 2

@@ -137,13 +137,34 @@ type Result struct {
 	CTRLift, PPCLift, RPMLift float64 // percent
 }
 
+// Arm couples a retrieval channel with the live serving configuration
+// its model reads during the replay: a distinct graph view per arm
+// (shard count, partitioning strategy, locality, or a remote cluster).
+// A nil View replays the channel against whatever view its model
+// already holds.
+type Arm struct {
+	Channel Channel
+	View    core.GraphView
+}
+
 // Run replays traffic through both channels under the same click and
 // pricing models. Relevance ground truth comes from the generator's
 // latent content vectors: rel = cos(user⊕query intent, item content).
 // Click probability is position-biased (1/log2(pos+2)) and sigmoidal in
 // relevance; ad prices are deterministic per item (hash-based), so the
-// two channels face identical economics.
-func Run(g *graph.Graph, traffic []Request, control, treatment Channel, cfg Config) Result {
+// two channels face identical economics. g is the ground-truth view
+// scoring relevance (monolithic graph or engine — identical reads).
+func Run(g core.GraphView, traffic []Request, control, treatment Channel, cfg Config) Result {
+	return RunArms(g, traffic, Arm{Channel: control}, Arm{Channel: treatment}, cfg)
+}
+
+// RunArms is Run with per-arm live serving configs: before an arm
+// replays, its view (when set) is bound into the channel's model, so
+// control and treatment can serve from different engine topologies.
+// Because every view is a bit-identical read surface, arms that differ
+// only in topology produce identical metrics — pinned by this
+// package's equivalence test.
+func RunArms(g core.GraphView, traffic []Request, control, treatment Arm, cfg Config) Result {
 	r := rng.New(cfg.Seed)
 	price := func(item graph.NodeID) float64 {
 		// Stable per-item price in [0.2, 1.2).
@@ -156,7 +177,13 @@ func Run(g *graph.Graph, traffic []Request, control, treatment Channel, cfg Conf
 		tensor.Axpy(0.5, g.Content(u), intent)
 		return float64(tensor.Cosine(intent, g.Content(item)))
 	}
-	play := func(ch Channel, m *Metrics) {
+	play := func(arm Arm, m *Metrics) {
+		ch := arm.Channel
+		if arm.View != nil {
+			if mc, ok := ch.(*ModelChannel); ok {
+				mc.BindView(arm.View)
+			}
+		}
 		for _, req := range traffic {
 			items := ch.Retrieve(req.User, req.Query, cfg.ListSize)
 			for pos, item := range items {
@@ -184,4 +211,13 @@ func Run(g *graph.Graph, traffic []Request, control, treatment Channel, cfg Conf
 	res.PPCLift = lift(res.Control.PPC(), res.Treatment.PPC())
 	res.RPMLift = lift(res.Control.RPM(), res.Treatment.RPM())
 	return res
+}
+
+// BindView rebinds the channel's model onto a different graph view
+// (when the model supports it), switching the arm's live serving
+// config without touching trained weights or the ANN index.
+func (c *ModelChannel) BindView(v core.GraphView) {
+	if b, ok := c.model.(core.ViewBinder); ok {
+		b.BindView(v)
+	}
 }

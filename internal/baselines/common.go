@@ -37,7 +37,7 @@ func DefaultConfig() Config {
 type gnnModel struct {
 	name string
 	cfg  Config
-	g    *graph.Graph
+	g    core.GraphView
 	fe   *core.FeatureEmbedder
 
 	towerUQ, towerItem *nn.MLP
@@ -46,7 +46,7 @@ type gnnModel struct {
 	uqFn func(t *ad.Tape, u, q graph.NodeID, r *rng.RNG) *ad.Node
 }
 
-func newChassis(name string, g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) *gnnModel {
+func newChassis(name string, g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) *gnnModel {
 	r := rng.New(seed)
 	d := cfg.EmbedDim
 	return &gnnModel{
@@ -61,6 +61,11 @@ func newChassis(name string, g *graph.Graph, v loggen.Vocab, cfg Config, seed ui
 
 // Name implements core.Model.
 func (m *gnnModel) Name() string { return m.name }
+
+// BindView implements core.ViewBinder: every closure reads the graph
+// through m.g, so swapping the view redirects sampling and feature
+// lookups without touching trained weights.
+func (m *gnnModel) BindView(g core.GraphView) { m.g = g }
 
 // nodeEmb returns the mean of a node's feature latent vectors (1 x d).
 func (m *gnnModel) nodeEmb(t *ad.Tape, id graph.NodeID) *ad.Node {
@@ -150,7 +155,7 @@ func samplerUQ(m *gnnModel, s sampling.Sampler, aggW *nn.Linear, focalFromConten
 
 // NewGraphSAGE returns the GraphSAGE baseline: uniform neighbor sampling
 // with mean aggregation (Hamilton et al. 2017).
-func NewGraphSAGE(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model {
+func NewGraphSAGE(g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) core.Model {
 	m := newChassis("graphsage", g, v, cfg, seed)
 	aggW := nn.NewLinear("graphsage.agg", 2*cfg.EmbedDim, cfg.EmbedDim, rng.New(seed+1))
 	m.extra = aggW.Params()
@@ -160,7 +165,7 @@ func NewGraphSAGE(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.
 
 // NewPinSage returns the PinSage baseline: random-walk importance
 // sampling with mean aggregation (Ying et al. 2018).
-func NewPinSage(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model {
+func NewPinSage(g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) core.Model {
 	m := newChassis("pinsage", g, v, cfg, seed)
 	aggW := nn.NewLinear("pinsage.agg", 2*cfg.EmbedDim, cfg.EmbedDim, rng.New(seed+1))
 	m.extra = aggW.Params()
@@ -170,7 +175,7 @@ func NewPinSage(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Mo
 
 // NewPinnerSage returns the PinnerSage baseline: cluster-importance
 // sampling preserving multi-modal interests (Pal et al. 2020).
-func NewPinnerSage(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model {
+func NewPinnerSage(g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) core.Model {
 	m := newChassis("pinnersage", g, v, cfg, seed)
 	aggW := nn.NewLinear("pinnersage.agg", 2*cfg.EmbedDim, cfg.EmbedDim, rng.New(seed+1))
 	m.extra = aggW.Params()
@@ -180,7 +185,7 @@ func NewPinnerSage(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core
 
 // NewPixie returns the Pixie baseline: user-biased random-walk sampling
 // (Eksombatchai et al. 2018); walks are biased by the request's content.
-func NewPixie(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model {
+func NewPixie(g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) core.Model {
 	m := newChassis("pixie", g, v, cfg, seed)
 	aggW := nn.NewLinear("pixie.agg", 2*cfg.EmbedDim, cfg.EmbedDim, rng.New(seed+1))
 	m.extra = aggW.Params()

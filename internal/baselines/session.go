@@ -19,7 +19,7 @@ import (
 // per-type aggregates). The key difference from Zoomer — static attention
 // independent of the request's focal interest — is exactly what the paper
 // credits its gains to.
-func NewHAN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model {
+func NewHAN(g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) core.Model {
 	m := newChassis("han", g, v, cfg, seed)
 	r := rng.New(seed + 1)
 	d := cfg.EmbedDim
@@ -37,7 +37,7 @@ func NewHAN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model 
 		a := attn.Node(t)
 		var byType [graph.NumNodeTypes][]*ad.Node
 		for i, c := range tree.Children {
-			byType[g.Type(tree.Edges[i].To)] = append(byType[g.Type(tree.Edges[i].To)], embed(t, c))
+			byType[m.g.Type(tree.Edges[i].To)] = append(byType[m.g.Type(tree.Edges[i].To)], embed(t, c))
 		}
 		var aggs []*ad.Node
 		for nt := 0; nt < graph.NumNodeTypes; nt++ {
@@ -71,8 +71,8 @@ func NewHAN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model 
 
 	s := sampling.Uniform{}
 	m.uqFn = func(t *ad.Tape, u, q graph.NodeID, r *rng.RNG) *ad.Node {
-		treeU := sampling.BuildTree(g, u, nil, cfg.Hops, cfg.FanOut, s, r, nil)
-		treeQ := sampling.BuildTree(g, q, nil, cfg.Hops, cfg.FanOut, s, r, nil)
+		treeU := sampling.BuildTree(m.g, u, nil, cfg.Hops, cfg.FanOut, s, r, nil)
+		treeQ := sampling.BuildTree(m.g, q, nil, cfg.Hops, cfg.FanOut, s, r, nil)
 		return m.towerUQ.Forward(t, t.ConcatCols(embed(t, treeU), embed(t, treeQ)))
 	}
 	return m
@@ -83,7 +83,7 @@ func NewHAN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model 
 // channel (all edges including similarity) are aggregated separately and
 // fused — the mechanism that lets session models exploit global item
 // transitions.
-func NewGCEGNN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model {
+func NewGCEGNN(g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) core.Model {
 	m := newChassis("gce-gnn", g, v, cfg, seed)
 	r := rng.New(seed + 1)
 	d := cfg.EmbedDim
@@ -105,7 +105,7 @@ func NewGCEGNN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Mod
 		return t.Add(self, t.MeanRows(t.ConcatRows(kept...)))
 	}
 	embed := func(t *ad.Tape, id graph.NodeID, r *rng.RNG) *ad.Node {
-		tree := sampling.BuildTree(g, id, nil, 1, 2*cfg.FanOut, s, r, nil)
+		tree := sampling.BuildTree(m.g, id, nil, 1, 2*cfg.FanOut, s, r, nil)
 		local := channel(t, tree, func(e graph.EdgeType) bool { return e != graph.Similarity })
 		global := channel(t, tree, func(graph.EdgeType) bool { return true })
 		return t.ReLU(fuse.Forward(t, t.ConcatCols(local, global)))
@@ -121,7 +121,7 @@ func NewGCEGNN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Mod
 // a position/weight-decayed order (heavier interactions first, geometric
 // decay capturing the "latent order") through a gated fusion with the
 // self embedding.
-func NewFGNN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model {
+func NewFGNN(g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) core.Model {
 	m := newChassis("fgnn", g, v, cfg, seed)
 	r := rng.New(seed + 1)
 	d := cfg.EmbedDim
@@ -132,7 +132,7 @@ func NewFGNN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model
 	const decay = 0.7
 	embed := func(t *ad.Tape, id graph.NodeID, r *rng.RNG) *ad.Node {
 		self := m.nodeEmb(t, id)
-		tree := sampling.BuildTree(g, id, nil, 1, cfg.FanOut, s, r, nil)
+		tree := sampling.BuildTree(m.g, id, nil, 1, cfg.FanOut, s, r, nil)
 		if len(tree.Children) == 0 {
 			return self
 		}
@@ -175,7 +175,7 @@ func NewFGNN(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model
 // et al. 2018): no graph convolution — the user's clicked-item history is
 // attended with a score conditioned on both the current query (short-term
 // interest) and the mean history (general interest).
-func NewSTAMP(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model {
+func NewSTAMP(g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) core.Model {
 	m := newChassis("stamp", g, v, cfg, seed)
 	r := rng.New(seed + 1)
 	d := cfg.EmbedDim
@@ -187,7 +187,7 @@ func NewSTAMP(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Mode
 
 	m.uqFn = func(t *ad.Tape, u, q graph.NodeID, r *rng.RNG) *ad.Node {
 		qEmb := m.nodeEmb(t, q)
-		history := userItemHistory(g, u, 2*cfg.FanOut)
+		history := userItemHistory(m.g, u, 2*cfg.FanOut)
 		if len(history) == 0 {
 			return m.towerUQ.Forward(t, t.ConcatCols(m.nodeEmb(t, u), qEmb))
 		}
@@ -214,7 +214,7 @@ func NewSTAMP(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Mode
 // decomposed through C component projections, each pooled separately,
 // and recombined with a learned component-attention — capturing multiple
 // latent purchase motivations.
-func NewMCCF(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model {
+func NewMCCF(g core.GraphView, v loggen.Vocab, cfg Config, seed uint64) core.Model {
 	m := newChassis("mccf", g, v, cfg, seed)
 	r := rng.New(seed + 1)
 	d := cfg.EmbedDim
@@ -230,7 +230,7 @@ func NewMCCF(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model
 	s := sampling.Uniform{}
 	embed := func(t *ad.Tape, id graph.NodeID, r *rng.RNG) *ad.Node {
 		self := m.nodeEmb(t, id)
-		tree := sampling.BuildTree(g, id, nil, 1, cfg.FanOut, s, r, nil)
+		tree := sampling.BuildTree(m.g, id, nil, 1, cfg.FanOut, s, r, nil)
 		if len(tree.Children) == 0 {
 			return self
 		}
@@ -257,7 +257,7 @@ func NewMCCF(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) core.Model
 // userItemHistory collects item nodes reachable from u through click
 // paths (u -> query -> item and u's session items), deterministically,
 // capped at max — STAMP's "history" view of the graph.
-func userItemHistory(g *graph.Graph, u graph.NodeID, max int) []graph.NodeID {
+func userItemHistory(g core.GraphView, u graph.NodeID, max int) []graph.NodeID {
 	var out []graph.NodeID
 	seen := map[graph.NodeID]bool{}
 	for _, e := range g.Neighbors(u) {

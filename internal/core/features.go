@@ -76,7 +76,7 @@ func SlotCount(t graph.NodeType) int {
 // FeatureMatrix gathers node id's feature latent vectors as a
 // SlotCount x Dim node H — the input of the feature-projection level
 // (eq. 6). Term slots average the node's title-term embeddings.
-func (fe *FeatureEmbedder) FeatureMatrix(t *ad.Tape, g *graph.Graph, id graph.NodeID) *ad.Node {
+func (fe *FeatureEmbedder) FeatureMatrix(t *ad.Tape, g GraphView, id graph.NodeID) *ad.Node {
 	feats := g.Features(id)
 	switch g.Type(id) {
 	case graph.User:

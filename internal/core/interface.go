@@ -2,13 +2,52 @@ package core
 
 import (
 	"zoomer/internal/ad"
+	"zoomer/internal/engine"
 	"zoomer/internal/graph"
 	"zoomer/internal/graphbuild"
 	"zoomer/internal/loggen"
 	"zoomer/internal/nn"
 	"zoomer/internal/rng"
+	"zoomer/internal/sampling"
 	"zoomer/internal/tensor"
 )
+
+// GraphView is the read surface every model trains and serves against:
+// the sampling view (neighbors + content) plus the feature/type
+// accessors the feature embedder needs. Both *graph.Graph and the
+// engine-backed EngineView satisfy it, so the same model runs unchanged
+// over the monolithic graph, a local sharded engine, or a remote
+// cluster dialed over RPC.
+type GraphView interface {
+	sampling.GraphView
+	// Features returns the node's categorical feature ids (Table I layout).
+	Features(id graph.NodeID) []int32
+	// Type returns the node's type.
+	Type(id graph.NodeID) graph.NodeType
+}
+
+// ViewBinder is implemented by models whose graph view can be swapped
+// after construction — the same trained weights then serve against a
+// different topology (e.g. per-arm engine configs in an A/B test).
+type ViewBinder interface {
+	BindView(GraphView)
+}
+
+// EngineView adapts an engine (local sharded or remote cluster) into a
+// GraphView. The engine serves neighbors, content and features; node
+// types are derived arithmetically from the graphbuild id layout, since
+// partition shards carry no type column.
+type EngineView struct {
+	*engine.Engine
+	M graphbuild.Mapping
+}
+
+// Type implements GraphView via the mapping's id-range arithmetic.
+func (v EngineView) Type(id graph.NodeID) graph.NodeType { return v.M.Type(id) }
+
+// NodesOfType enumerates node ids of type t (id order), mirroring
+// graph.Graph's accessor for experiment code that runs over engines.
+func (v EngineView) NodesOfType(t graph.NodeType) []graph.NodeID { return v.M.NodesOfType(t) }
 
 // Instance is one CTR example in graph-node space.
 type Instance struct {

@@ -33,6 +33,11 @@ type TrainConfig struct {
 
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
+
+	// OnStep, when set, receives every optimizer step's loss — the
+	// training trace the cross-topology equivalence suite pins
+	// bit-for-bit across graph/engine/remote views.
+	OnStep func(step int, loss float64)
 }
 
 // DefaultTrainConfig returns the settings shared by the offline
@@ -56,6 +61,8 @@ type TrainResult struct {
 	Duration      time.Duration
 	TestAUC       float64
 	ReachedTarget bool
+	// EpochLosses holds the mean minibatch loss of each completed epoch.
+	EpochLosses []float64
 }
 
 // Train runs minibatch training of m on train, evaluating on test at the
@@ -83,6 +90,8 @@ func Train(m Model, train, test []Instance, cfg TrainConfig) TrainResult {
 
 loop:
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		var epochSteps int
 		r.Shuffle(len(data), func(i, j int) { data[i], data[j] = data[j], data[i] })
 		for lo := 0; lo+1 < len(data) || lo == 0 && len(data) > 0; lo += cfg.BatchSize {
 			hi := lo + cfg.BatchSize
@@ -109,6 +118,11 @@ loop:
 			opt.step()
 			res.Steps++
 			res.FinalLoss = float64(loss.Scalar())
+			epochLoss += res.FinalLoss
+			epochSteps++
+			if cfg.OnStep != nil {
+				cfg.OnStep(res.Steps, res.FinalLoss)
+			}
 
 			if cfg.Logf != nil && res.Steps%100 == 0 {
 				cfg.Logf("step %d loss %.4f", res.Steps, res.FinalLoss)
@@ -128,8 +142,14 @@ loop:
 				}
 			}
 			if cfg.MaxSteps > 0 && res.Steps >= cfg.MaxSteps {
+				if epochSteps > 0 {
+					res.EpochLosses = append(res.EpochLosses, epochLoss/float64(epochSteps))
+				}
 				break loop
 			}
+		}
+		if epochSteps > 0 {
+			res.EpochLosses = append(res.EpochLosses, epochLoss/float64(epochSteps))
 		}
 	}
 	res.Duration = time.Since(start)

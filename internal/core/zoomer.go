@@ -56,7 +56,7 @@ func DefaultConfig() Config {
 // ROI-based multi-level attention feeding a twin-tower CTR head.
 type Zoomer struct {
 	cfg Config
-	g   *graph.Graph
+	g   GraphView
 	fe  *FeatureEmbedder
 
 	// Space mappings projecting each focal-point type into the shared
@@ -73,8 +73,9 @@ type Zoomer struct {
 	name    string
 }
 
-// NewZoomer builds the model over graph g with vocabulary v.
-func NewZoomer(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) *Zoomer {
+// NewZoomer builds the model over view g (a monolithic graph, a local
+// sharded engine, or a remote cluster) with vocabulary v.
+func NewZoomer(g GraphView, v loggen.Vocab, cfg Config, seed uint64) *Zoomer {
 	r := rng.New(seed)
 	d := cfg.EmbedDim
 	s := cfg.Sampler
@@ -109,8 +110,12 @@ func NewZoomer(g *graph.Graph, v loggen.Vocab, cfg Config, seed uint64) *Zoomer 
 // Name implements Model.
 func (z *Zoomer) Name() string { return z.name }
 
-// Graph returns the underlying retrieval graph.
-func (z *Zoomer) Graph() *graph.Graph { return z.g }
+// View returns the graph view the model reads through.
+func (z *Zoomer) View() GraphView { return z.g }
+
+// BindView implements ViewBinder: rebinding swaps the read path (e.g.
+// onto a different engine topology) without touching trained weights.
+func (z *Zoomer) BindView(g GraphView) { z.g = g }
 
 // Config returns the model configuration.
 func (z *Zoomer) Config() Config { return z.cfg }

@@ -68,8 +68,8 @@ func Fig10(o Options) Fig10Result {
 			zcfg.Hops, bcfg.Hops = 1, 1
 		}
 		models := []core.Model{
-			core.NewZoomer(w.res.Graph, v, zcfg, o.Seed+1),
-			baselines.NewGCEGNN(w.res.Graph, v, bcfg, o.Seed+2),
+			core.NewZoomer(w.view, v, zcfg, o.Seed+1),
+			baselines.NewGCEGNN(w.view, v, bcfg, o.Seed+2),
 		}
 		for _, m := range models {
 			tc := o.trainConfig()
@@ -83,6 +83,7 @@ func Fig10(o Options) Fig10Result {
 			})
 			o.logf("fig10 %s/%s %.2fs (AUC %.3f)", m.Name(), sc, res.Duration.Seconds(), res.TestAUC)
 		}
+		w.Close()
 	}
 	return out
 }
@@ -144,8 +145,9 @@ func (r Fig11Result) String() string {
 // sampler baselines trained at each per-hop budget K.
 func Fig11(o Options) Fig11Result {
 	w := o.taobaoWorld(loggen.ScaleSmall)
+	defer w.Close()
 	v := w.logs.Vocab()
-	g := w.res.Graph
+	g := w.view
 	ks := []int{5, 10, 15, 20, 25, 30}
 	if o.Quick {
 		ks = []int{2, 4}
@@ -210,8 +212,9 @@ func (r Fig12Result) String() string {
 // each step cheaper, and the focal-biased ROI keeps (or improves) AUC.
 func Fig12(o Options) Fig12Result {
 	w := o.taobaoWorld(loggen.ScaleSmall)
+	defer w.Close()
 	v := w.logs.Vocab()
-	g := w.res.Graph
+	g := w.view
 
 	full, tenth := 30, 3
 	if o.Quick {

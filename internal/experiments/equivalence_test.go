@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"net"
+	"testing"
+
+	"zoomer/internal/ad"
+	"zoomer/internal/baselines"
+	"zoomer/internal/core"
+	"zoomer/internal/engine"
+	"zoomer/internal/eval"
+	"zoomer/internal/graph"
+	"zoomer/internal/graphbuild"
+	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
+	"zoomer/internal/rng"
+	"zoomer/internal/rpc"
+	"zoomer/internal/tensor"
+)
+
+// trainTrace is everything a training run produces that the suite pins
+// bit-for-bit: the per-step loss trace, per-epoch losses, final
+// AUC/MAE/RMSE, retrieval hit-rates, and raw embedding draws.
+type trainTrace struct {
+	stepLosses  []float64
+	epochLosses []float64
+	auc         float64
+	mae, rmse   float64
+	hitRates    map[int]float64
+	uqEmb       tensor.Vec
+	itemEmb     tensor.Vec
+}
+
+// topology is one named GraphView over the shared world.
+type topology struct {
+	name string
+	view core.GraphView
+}
+
+// equivalenceTopologies builds the full cross-topology matrix over one
+// tiny world: the monolithic graph, local sharded engines across
+// shard counts / strategies / locality, and a 2-server loopback-RPC
+// remote engine. The returned cleanup closes every engine and server.
+func equivalenceTopologies(t testing.TB) (*world, []topology, func()) {
+	t.Helper()
+	logs := loggen.MustGenerate(loggen.TaobaoConfig(loggen.ScaleTiny, 1))
+	res := buildWorldFromLogs(logs, 1)
+	var closers []func()
+
+	topos := []topology{{name: "graph", view: res.res.Graph}}
+	add := func(name string, cfg engine.Config) {
+		eng := engine.New(res.res.Graph, cfg)
+		closers = append(closers, eng.Close)
+		topos = append(topos, topology{name: name, view: core.EngineView{Engine: eng, M: res.res.Mapping}})
+	}
+	add("hash-1", engine.Config{Shards: 1, Replicas: 1, Strategy: partition.Hash, Locality: false})
+	add("hash-2", engine.Config{Shards: 2, Replicas: 1, Strategy: partition.Hash, Locality: false})
+	add("hash-4-locality", engine.Config{Shards: 4, Replicas: 2, Strategy: partition.Hash, Locality: true})
+	add("degree-2", engine.Config{Shards: 2, Replicas: 1, Strategy: partition.DegreeBalanced, Locality: false})
+	add("degree-4-locality", engine.Config{Shards: 4, Replicas: 1, Strategy: partition.DegreeBalanced, Locality: true})
+
+	// Loopback remote: four hash shards behind two TCP servers.
+	layout := [][]int{{0, 2}, {1, 3}}
+	addrs := make([]string, len(layout))
+	for i, owned := range layout {
+		srv := rpc.NewServer(res.res.Graph, rpc.ServerConfig{
+			Shards: 4, Strategy: partition.Hash, Owned: owned, Replicas: 1, Locality: true,
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		srv.Start(ln)
+		addrs[i] = ln.Addr().String()
+		closers = append(closers, func() { srv.Close() })
+	}
+	cluster, err := rpc.DialCluster(addrs...)
+	if err != nil {
+		t.Fatalf("dial cluster: %v", err)
+	}
+	closers = append(closers, func() { cluster.Close() })
+	topos = append(topos, topology{name: "remote-2servers", view: core.EngineView{Engine: cluster.Engine, M: res.res.Mapping}})
+
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	return res, topos, cleanup
+}
+
+// buildWorldFromLogs mirrors buildWorld without constructing an engine
+// (the suite builds its own topologies).
+func buildWorldFromLogs(logs *loggen.Logs, negPerPos int) *world {
+	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
+	ds := loggen.BuildExamples(logs, negPerPos, 0.25, 101)
+	return &world{
+		logs:  logs,
+		res:   res,
+		train: core.InstancesFromExamples(ds.Train, res.Mapping),
+		test:  core.InstancesFromExamples(ds.Test, res.Mapping),
+	}
+}
+
+// equivModelCtor builds a named model over a view with a fixed seed, so
+// every topology starts from bit-identical weights.
+func equivModelCtor(name string, g core.GraphView, v loggen.Vocab) core.Model {
+	bcfg := baselines.Config{EmbedDim: 16, OutDim: 16, Hops: 1, FanOut: 4, LogitScale: 5}
+	switch name {
+	case "zoomer":
+		cfg := core.DefaultConfig()
+		cfg.EmbedDim, cfg.OutDim = 16, 16
+		cfg.Hops, cfg.FanOut = 1, 4
+		return core.NewZoomer(g, v, cfg, 31)
+	case "graphsage":
+		return baselines.NewGraphSAGE(g, v, bcfg, 32)
+	case "pinsage":
+		return baselines.NewPinSage(g, v, bcfg, 33)
+	case "pinnersage":
+		return baselines.NewPinnerSage(g, v, bcfg, 34)
+	case "pixie":
+		return baselines.NewPixie(g, v, bcfg, 35)
+	case "han":
+		return baselines.NewHAN(g, v, bcfg, 36)
+	case "gce-gnn":
+		return baselines.NewGCEGNN(g, v, bcfg, 37)
+	case "fgnn":
+		return baselines.NewFGNN(g, v, bcfg, 38)
+	case "stamp":
+		return baselines.NewSTAMP(g, v, bcfg, 39)
+	case "mccf":
+		return baselines.NewMCCF(g, v, bcfg, 40)
+	}
+	panic("unknown model " + name)
+}
+
+// runTrainingTrace trains a fresh model of the given kind over view g
+// and captures the full pinned trace.
+func runTrainingTrace(w *world, name string, g core.GraphView, v loggen.Vocab, mp graphbuild.Mapping) trainTrace {
+	m := equivModelCtor(name, g, v)
+	tc := core.DefaultTrainConfig()
+	tc.Seed = 71
+	tc.Epochs, tc.MaxSteps, tc.BatchSize = 2, 30, 8
+	var tr trainTrace
+	tc.OnStep = func(step int, loss float64) { tr.stepLosses = append(tr.stepLosses, loss) }
+	res := core.Train(m, w.train, w.test, tc)
+	tr.epochLosses = res.EpochLosses
+	tr.auc = res.TestAUC
+
+	// Post-training predictions on the test split -> MAE/RMSE.
+	r := rng.New(72)
+	var pred, target []float64
+	for lo := 0; lo < len(w.test); lo += 16 {
+		hi := min(lo+16, len(w.test))
+		t := ad.NewTape()
+		logits := m.Logits(t, w.test[lo:hi], r)
+		for i, ex := range w.test[lo:hi] {
+			pred = append(pred, float64(tensor.Sigmoid(logits.Val.Data[i])))
+			target = append(target, float64(ex.Label))
+		}
+	}
+	tr.mae = eval.MAE(pred, target)
+	tr.rmse = eval.RMSE(pred, target)
+
+	// Retrieval draws: hit-rate over all items plus raw embedding bits.
+	items := mp.NodesOfType(graph.Item)
+	tr.hitRates = core.HitRateAtKs(m, w.test, items, []int{5, 20}, 10, 73)
+	er := rng.New(74)
+	ex := w.test[0]
+	tr.uqEmb = m.UserQueryEmbedding(ex.User, ex.Query, er)
+	tr.itemEmb = m.ItemEmbedding(ex.Item, er)
+	return tr
+}
+
+// requireTraceEqual asserts two traces match bit-for-bit.
+func requireTraceEqual(t *testing.T, model, topo string, want, got trainTrace) {
+	t.Helper()
+	if len(want.stepLosses) != len(got.stepLosses) {
+		t.Fatalf("%s/%s: %d steps != %d", model, topo, len(got.stepLosses), len(want.stepLosses))
+	}
+	for i := range want.stepLosses {
+		if want.stepLosses[i] != got.stepLosses[i] {
+			t.Fatalf("%s/%s: step %d loss %v != %v", model, topo, i, got.stepLosses[i], want.stepLosses[i])
+		}
+	}
+	if len(want.epochLosses) != len(got.epochLosses) {
+		t.Fatalf("%s/%s: epoch count mismatch", model, topo)
+	}
+	for i := range want.epochLosses {
+		if want.epochLosses[i] != got.epochLosses[i] {
+			t.Fatalf("%s/%s: epoch %d loss %v != %v", model, topo, i, got.epochLosses[i], want.epochLosses[i])
+		}
+	}
+	if want.auc != got.auc {
+		t.Fatalf("%s/%s: AUC %v != %v", model, topo, got.auc, want.auc)
+	}
+	if want.mae != got.mae || want.rmse != got.rmse {
+		t.Fatalf("%s/%s: MAE/RMSE (%v,%v) != (%v,%v)", model, topo, got.mae, got.rmse, want.mae, want.rmse)
+	}
+	for k, v := range want.hitRates {
+		if got.hitRates[k] != v {
+			t.Fatalf("%s/%s: HR@%d %v != %v", model, topo, k, got.hitRates[k], v)
+		}
+	}
+	for i := range want.uqEmb {
+		if want.uqEmb[i] != got.uqEmb[i] {
+			t.Fatalf("%s/%s: uq embedding dim %d differs", model, topo, i)
+		}
+	}
+	for i := range want.itemEmb {
+		if want.itemEmb[i] != got.itemEmb[i] {
+			t.Fatalf("%s/%s: item embedding dim %d differs", model, topo, i)
+		}
+	}
+}
+
+// TestTrainingEquivalenceAcrossTopologies is the PR's headline harness:
+// full training runs — ad.Tape gradients, per-step and per-epoch loss
+// traces, final AUC/MAE/RMSE, retrieval hit-rates and raw embedding
+// draws — are bit-identical whether the model samples from the
+// monolithic graph, local sharded engines (hash and degree-balanced,
+// 1/2/4 shards, locality on and off), or a 2-server loopback-RPC
+// remote engine. Zoomer plus one representative of each baseline
+// family trains end to end; TestForwardEquivalenceAllModels covers the
+// remaining constructors' forward passes.
+func TestTrainingEquivalenceAcrossTopologies(t *testing.T) {
+	w, topos, cleanup := equivalenceTopologies(t)
+	defer cleanup()
+	v := w.logs.Vocab()
+	mp := w.res.Mapping
+
+	models := []string{"zoomer", "graphsage", "han", "stamp"}
+	for _, model := range models {
+		want := runTrainingTrace(w, model, topos[0].view, v, mp)
+		if len(want.stepLosses) == 0 {
+			t.Fatalf("%s: empty training trace", model)
+		}
+		for _, topo := range topos[1:] {
+			got := runTrainingTrace(w, model, topo.view, v, mp)
+			requireTraceEqual(t, model, topo.name, want, got)
+		}
+	}
+}
+
+// TestForwardEquivalenceAllModels pins the forward pass of every model
+// constructor across the topology matrix: training-batch logits and
+// request/item embeddings must be bit-identical to the monolithic
+// graph's. This is the cheap full-coverage companion of the training
+// suite above.
+func TestForwardEquivalenceAllModels(t *testing.T) {
+	w, topos, cleanup := equivalenceTopologies(t)
+	defer cleanup()
+	v := w.logs.Vocab()
+
+	models := []string{"zoomer", "graphsage", "pinsage", "pinnersage", "pixie", "han", "gce-gnn", "fgnn", "stamp", "mccf"}
+	batch := w.train[:min(8, len(w.train))]
+	for _, model := range models {
+		var want []float32
+		var wantEmb tensor.Vec
+		for i, topo := range topos {
+			m := equivModelCtor(model, topo.view, v)
+			tp := ad.NewTape()
+			logits := m.Logits(tp, batch, rng.New(55))
+			emb := m.UserQueryEmbedding(batch[0].User, batch[0].Query, rng.New(56))
+			if i == 0 {
+				want = append([]float32(nil), logits.Val.Data...)
+				wantEmb = emb
+				continue
+			}
+			for j := range want {
+				if logits.Val.Data[j] != want[j] {
+					t.Fatalf("%s/%s: logit %d %v != %v", model, topo.name, j, logits.Val.Data[j], want[j])
+				}
+			}
+			for j := range wantEmb {
+				if emb[j] != wantEmb[j] {
+					t.Fatalf("%s/%s: embedding dim %d differs", model, topo.name, j)
+				}
+			}
+		}
+	}
+}

@@ -17,8 +17,10 @@ import (
 
 	"zoomer/internal/baselines"
 	"zoomer/internal/core"
+	"zoomer/internal/engine"
 	"zoomer/internal/graphbuild"
 	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
 )
 
 // Options configures an experiment run.
@@ -35,21 +37,39 @@ func (o Options) logf(format string, args ...any) {
 	}
 }
 
-// world bundles a generated dataset with its graph and instance splits.
+// world bundles a generated dataset with its graph, the sharded engine
+// serving it, and the instance splits. Models read through view, so
+// every experiment exercises the partitioned read path the serving tier
+// uses — bit-identical to the monolithic graph by the engine's
+// equivalence suite (and this package's cross-topology training suite).
 type world struct {
 	logs  *loggen.Logs
 	res   *graphbuild.Result
+	eng   *engine.Engine
+	view  core.GraphView
 	train []core.Instance
 	test  []core.Instance
+}
+
+// Close releases the world's engine.
+func (w *world) Close() {
+	if w.eng != nil {
+		w.eng.Close()
+	}
 }
 
 func buildWorld(cfg loggen.Config, negPerPos int, seed uint64) *world {
 	logs := loggen.MustGenerate(cfg)
 	res := graphbuild.Build(logs, graphbuild.DefaultConfig())
 	ds := loggen.BuildExamples(logs, negPerPos, 0.2, seed+100)
+	eng := engine.New(res.Graph, engine.Config{
+		Shards: 4, Replicas: 1, Strategy: partition.Hash, Locality: true,
+	})
 	return &world{
 		logs:  logs,
 		res:   res,
+		eng:   eng,
+		view:  core.EngineView{Engine: eng, M: res.Mapping},
 		train: core.InstancesFromExamples(ds.Train, res.Mapping),
 		test:  core.InstancesFromExamples(ds.Test, res.Mapping),
 	}

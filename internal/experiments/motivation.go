@@ -43,6 +43,7 @@ func (r Fig4aResult) String() string {
 // explodes with neighborhood size.
 func Fig4a(o Options) Fig4aResult {
 	w := o.taobaoWorld(loggen.ScaleSmall)
+	defer w.Close()
 	ks := []int{5, 10, 20, 30, 40, 50}
 	iters := 6
 	if o.Quick {
@@ -56,7 +57,7 @@ func Fig4a(o Options) Fig4aResult {
 		cfg.FanOut = k
 		// Plain GCN: all attention levels off (mean pooling).
 		cfg.UseFeatureProj, cfg.UseEdgeAttn, cfg.UseSemanticAttn = false, false, false
-		m := core.NewZoomer(w.res.Graph, w.logs.Vocab(), cfg, o.Seed)
+		m := core.NewZoomer(w.view, w.logs.Vocab(), cfg, o.Seed)
 		r := rng.New(o.Seed + uint64(k))
 		batch := w.train[:min(16, len(w.train))]
 		targets := make([]float32, len(batch))
@@ -118,6 +119,7 @@ func (r Fig4bResult) String() string {
 // quickly even within a session.
 func Fig4b(o Options) Fig4bResult {
 	w := o.taobaoWorld(loggen.ScaleSmall)
+	defer w.Close()
 	var sims []float64
 	for _, s := range w.logs.Sessions {
 		for i := 1; i < len(s.Events); i++ {

@@ -76,8 +76,9 @@ func Table2(o Options) Table2Result {
 		cfg.Topics = 6
 	}
 	w := buildWorld(cfg, 1, o.Seed)
+	defer w.Close()
 	v := w.logs.Vocab()
-	g := w.res.Graph
+	g := w.view
 
 	bcfg := o.baselineConfig()
 	bcfg.Hops = 1 // MovieLens uses one-hop aggregation (§VII-A)
@@ -151,8 +152,9 @@ func (r Table3Result) Best() Table3Row {
 // million-scale-analog Taobao graph, scored by AUC and HitRate@K.
 func Table3(o Options) Table3Result {
 	w := o.taobaoWorld(loggen.ScaleSmall)
+	defer w.Close()
 	v := w.logs.Vocab()
-	g := w.res.Graph
+	g := w.view
 	bcfg := o.baselineConfig()
 	zcfg := o.modelConfig()
 
@@ -175,7 +177,7 @@ func Table3(o Options) Table3Result {
 		baselines.NewPixie(g, v, bcfg, o.Seed+9),
 		core.NewZoomer(g, v, zcfg, o.Seed+10),
 	}
-	items := g.NodesOfType(graph.Item)
+	items := w.res.Mapping.NodesOfType(graph.Item)
 	var out Table3Result
 	out.Ks = ks
 	for _, m := range models {
@@ -254,11 +256,12 @@ func Fig8(o Options) Fig8Result {
 		for _, v := range variants {
 			cfg := o.modelConfig()
 			cfg.UseFeatureProj, cfg.UseEdgeAttn, cfg.UseSemanticAttn = v.fp, v.ea, v.sa
-			m := core.NewZoomer(w.res.Graph, w.logs.Vocab(), cfg, o.Seed+3)
+			m := core.NewZoomer(w.view, w.logs.Vocab(), cfg, o.Seed+3)
 			auc, _, _, _ := trainAndEval(o, m, w)
 			out.Cells = append(out.Cells, Fig8Cell{Variant: v.name, Scale: sc.String(), AUC: auc})
 			o.logf("fig8 %s/%s AUC %.3f", v.name, sc, auc)
 		}
+		w.Close()
 	}
 	return out
 }

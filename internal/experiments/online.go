@@ -11,6 +11,7 @@ import (
 	"zoomer/internal/engine"
 	"zoomer/internal/graph"
 	"zoomer/internal/loggen"
+	"zoomer/internal/partition"
 	"zoomer/internal/serve"
 	"zoomer/internal/tensor"
 )
@@ -41,8 +42,9 @@ func (r Table4Result) String() string {
 // held-out traffic through both under the same click and pricing model.
 func Table4(o Options) Table4Result {
 	w := o.taobaoWorld(loggen.ScaleSmall)
+	defer w.Close()
 	v := w.logs.Vocab()
-	g := w.res.Graph
+	g := w.view
 
 	zoomer := core.NewZoomer(g, v, o.modelConfig(), o.Seed+1)
 	pinsage := baselines.NewPinSage(g, v, o.baselineConfig(), o.Seed+2)
@@ -50,7 +52,7 @@ func Table4(o Options) Table4Result {
 	core.Train(zoomer, w.train, w.test, tc)
 	core.Train(pinsage, w.train, w.test, tc)
 
-	items := g.NodesOfType(graph.Item)
+	items := w.res.Mapping.NodesOfType(graph.Item)
 	control := abtest.NewModelChannel("pinsage", pinsage, items, o.Seed+3)
 	treatment := abtest.NewModelChannel("zoomer", zoomer, items, o.Seed+4)
 
@@ -59,7 +61,15 @@ func Table4(o Options) Table4Result {
 		maxTraffic = 60
 	}
 	traffic := abtest.TrafficFromLogs(w.logs, w.res.Mapping, maxTraffic)
-	res := abtest.Run(g, traffic, control, treatment, abtest.DefaultConfig())
+	// Each arm serves from its own live engine config (the paper's
+	// deployment runs channels on separate serving stacks); the views are
+	// bit-identical read surfaces, so the comparison isolates the models.
+	controlEng := engine.New(w.res.Graph, engine.Config{Shards: 2, Replicas: 1, Strategy: partition.DegreeBalanced, Locality: false})
+	defer controlEng.Close()
+	res := abtest.RunArms(g, traffic,
+		abtest.Arm{Channel: control, View: core.EngineView{Engine: controlEng, M: w.res.Mapping}},
+		abtest.Arm{Channel: treatment, View: w.view},
+		abtest.DefaultConfig())
 	return Table4Result{
 		CTRLift: res.CTRLift, PPCLift: res.PPCLift, RPMLift: res.RPMLift,
 		Control: res.Control, Treatment: res.Treatment,
@@ -98,10 +108,10 @@ func (r Fig9Result) String() string {
 // inverted index, under an open-loop load sweep.
 func Fig9(o Options) Fig9Result {
 	w := o.taobaoWorld(loggen.ScaleSmall)
+	defer w.Close()
 	v := w.logs.Vocab()
-	g := w.res.Graph
 
-	model := core.NewZoomer(g, v, o.modelConfig(), o.Seed+1)
+	model := core.NewZoomer(w.view, v, o.modelConfig(), o.Seed+1)
 	// A short warm-up train so the exported weights are not random noise;
 	// serving latency does not depend on weight values.
 	tc := o.trainConfig()
@@ -109,11 +119,11 @@ func Fig9(o Options) Fig9Result {
 	core.Train(model, w.train, w.test, tc)
 
 	emb := serve.NewEmbedder(model.ExportServing())
-	eng := engine.New(g, engine.DefaultConfig())
+	eng := engine.New(w.res.Graph, engine.DefaultConfig())
 	cache := serve.NewNeighborCache(eng, 30, o.Seed+2)
 	defer cache.Close()
 
-	items := g.NodesOfType(graph.Item)
+	items := w.res.Mapping.NodesOfType(graph.Item)
 	ids := make([]int64, len(items))
 	vecs := make([]tensor.Vec, len(items))
 	for i, it := range items {
@@ -127,8 +137,8 @@ func Fig9(o Options) Fig9Result {
 	srv := serve.NewServer(emb, cache, index, scfg)
 	defer srv.Close()
 
-	users := g.NodesOfType(graph.User)
-	queries := g.NodesOfType(graph.Query)
+	users := w.res.Mapping.NodesOfType(graph.User)
+	queries := w.res.Mapping.NodesOfType(graph.Query)
 
 	qpsPoints := []float64{1000, 2000, 5000, 10000, 20000, 50000}
 	dur := 400 * time.Millisecond
@@ -206,8 +216,9 @@ func (r Fig13Result) String() string {
 // item neighbors — the paper's interpretability visualization.
 func Fig13(o Options) Fig13Result {
 	w := o.taobaoWorld(loggen.ScaleSmall)
+	defer w.Close()
 	v := w.logs.Vocab()
-	g := w.res.Graph
+	g := w.view
 	model := core.NewZoomer(g, v, o.modelConfig(), o.Seed+1)
 	tc := o.trainConfig()
 	tc.MaxSteps = min(tc.MaxSteps, 200)
@@ -220,8 +231,8 @@ func Fig13(o Options) Fig13Result {
 
 	// (a) Fixed user: the user's item history as columns, focal queries as
 	// rows.
-	users := g.NodesOfType(graph.User)
-	queries := g.NodesOfType(graph.Query)
+	users := w.res.Mapping.NodesOfType(graph.User)
+	queries := w.res.Mapping.NodesOfType(graph.Query)
 	itemsOf := func(id graph.NodeID, max int) []graph.NodeID {
 		var out []graph.NodeID
 		seen := map[graph.NodeID]bool{}

@@ -61,6 +61,42 @@ func (m Mapping) QueryNode(q int) graph.NodeID { return graph.NodeID(m.Users + q
 // ItemNode returns the graph node id of item i.
 func (m Mapping) ItemNode(i int) graph.NodeID { return graph.NodeID(m.Users + m.Queries + i) }
 
+// NumNodes returns the total node count of the built graph.
+func (m Mapping) NumNodes() int { return m.Users + m.Queries + m.Items }
+
+// Type derives a node's type from the builder's id layout (users first,
+// then queries, then items). Engine shards carry no per-node type data,
+// so remote views recover types through this arithmetic instead of a
+// graph lookup.
+func (m Mapping) Type(id graph.NodeID) graph.NodeType {
+	switch {
+	case int(id) < m.Users:
+		return graph.User
+	case int(id) < m.Users+m.Queries:
+		return graph.Query
+	default:
+		return graph.Item
+	}
+}
+
+// NodesOfType enumerates all node ids of type t, in id order.
+func (m Mapping) NodesOfType(t graph.NodeType) []graph.NodeID {
+	var lo, n int
+	switch t {
+	case graph.User:
+		lo, n = 0, m.Users
+	case graph.Query:
+		lo, n = m.Users, m.Queries
+	case graph.Item:
+		lo, n = m.Users+m.Queries, m.Items
+	}
+	out := make([]graph.NodeID, n)
+	for i := range out {
+		out[i] = graph.NodeID(lo + i)
+	}
+	return out
+}
+
 // Result bundles the built graph with its id mapping.
 type Result struct {
 	Graph   *graph.Graph
